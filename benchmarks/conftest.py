@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables or figures via its
+experiment module and asserts the claim's *shape* (who wins, by roughly
+what factor). Heavy experiments run one pedantic round; analytic ones
+benchmark normally.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,10 @@
+"""Figure 3 bench: pattern-conditional failures on the simulated chip."""
+
+from repro.experiments import fig03
+
+
+def test_bench_fig03_pattern_battery(run_once):
+    result = run_once(fig03.run, quick=True, seed=1)
+    counts = [row["failing_cells"] for row in result.rows]
+    assert max(counts) > min(counts), "failures must depend on the pattern"
+    print(result.to_text())

@@ -1,0 +1,10 @@
+"""Figure 7 bench: write-interval distributions of the traced workloads."""
+
+from repro.experiments import fig07
+
+
+def test_bench_fig07_interval_distribution(run_once):
+    result = run_once(fig07.run, quick=True, seed=1)
+    for row in result.rows:
+        assert float(row["<1ms"].rstrip("%")) > 95.0
+    print(result.to_text())

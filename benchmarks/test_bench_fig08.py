@@ -1,0 +1,10 @@
+"""Figure 8 bench: Pareto CCDF fits with paper-grade R^2."""
+
+from repro.experiments import fig08
+
+
+def test_bench_fig08_pareto_fit(run_once):
+    result = run_once(fig08.run, quick=True, seed=1)
+    for row in result.rows:
+        assert row["r_squared"] > 0.93  # paper: 0.94-0.99
+    print(result.to_text())

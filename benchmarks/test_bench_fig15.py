@@ -1,0 +1,44 @@
+"""Figure 15 bench: performance gain from refresh reduction.
+
+Scaled-down sweep (3 workloads, short windows, 32 Gb + 8 Gb endpoints)
+asserting the paper's shape: improvement grows with chip density and with
+the reduction amount, and the 32 Gb band lands near the paper's +40-50%.
+"""
+
+from repro.sim.metrics import geometric_mean, speedup
+from repro.sim.system import simulate_workload
+
+WINDOW_NS = 60_000.0
+WORKLOADS = (["mcf"], ["lbm"], ["omnetpp"])
+
+
+def _sweep():
+    means = {}
+    for density in (8, 32):
+        for reduction in (0.60, 0.75):
+            ratios = []
+            for i, names in enumerate(WORKLOADS):
+                base = simulate_workload(
+                    names, density_gbit=density, window_ns=WINDOW_NS,
+                    seed=11 + i,
+                )
+                memcon = simulate_workload(
+                    names, density_gbit=density,
+                    refresh_reduction=reduction, concurrent_tests=256,
+                    window_ns=WINDOW_NS, seed=11 + i,
+                )
+                ratios.append(speedup(memcon, base))
+            means[(density, reduction)] = geometric_mean(ratios)
+    return means
+
+
+def test_bench_fig15_speedup_sweep(run_once):
+    means = run_once(_sweep)
+    # Shape: density scaling and reduction scaling, as in the paper.
+    assert means[(32, 0.75)] > means[(8, 0.75)]
+    assert means[(32, 0.75)] > means[(32, 0.60)]
+    # Memory-bound 32 Gb band: paper reports +40-50% mean improvement.
+    assert 1.25 < means[(32, 0.75)] < 1.75
+    print("fig15 mean speedups:", {
+        f"{d}Gb@{int(r * 100)}%": round(v, 3) for (d, r), v in means.items()
+    })

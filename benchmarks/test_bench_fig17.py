@@ -1,0 +1,10 @@
+"""Figure 17 bench: PRIL's LO-REF execution-time coverage."""
+
+from repro.experiments import fig17
+
+
+def test_bench_fig17_lo_ref_coverage(run_once):
+    result = run_once(fig17.run, quick=True, seed=1)
+    for row in result.rows:
+        assert float(row["cil_1024ms"].rstrip("%")) > 75.0  # paper: ~95%
+    print(result.to_text())

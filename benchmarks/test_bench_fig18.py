@@ -1,0 +1,15 @@
+"""Figure 18 bench: refresh + testing time, normalised to the baseline."""
+
+from repro.experiments import fig18
+
+
+def test_bench_fig18_testing_overhead(run_once):
+    result = run_once(fig18.run, quick=True, seed=1)
+    for row in result.rows:
+        testing = (
+            float(row["testing_correct"].rstrip("%"))
+            + float(row["testing_mispredicted"].rstrip("%"))
+        )
+        assert testing < 3.0
+        assert float(row["testing_at_8GB"].rstrip("%")) < 0.01  # paper: 0.01%
+    print(result.to_text())

@@ -1,0 +1,10 @@
+"""Figure 19 bench: interval halving barely moves P(RIL > 1024 ms)."""
+
+from repro.experiments import fig19
+
+
+def test_bench_fig19_cache_sensitivity(run_once):
+    result = run_once(fig19.run, quick=True, seed=1)
+    for row in result.rows:
+        assert abs(row["delta"]) < 0.1
+    print(result.to_text())

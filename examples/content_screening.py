@@ -1,0 +1,70 @@
+"""Content screening: which program images are risky in weak DRAM?
+
+The scenario behind the paper's Figure 4: a fleet operator wants to know
+how failure exposure varies with what programs actually keep in memory.
+We load each SPEC CPU2006 content profile into the simulated module,
+replicate it across all rows (as the paper does), run a SoftMC-style
+retention pass, and rank benchmarks by failing-row exposure — all without
+any knowledge of the chip's internal scrambling or remapping.
+
+Run with:  python examples/content_screening.py
+"""
+
+from repro.dram import DramDevice, DramGeometry
+from repro.dram.faults import FaultMap, FaultModelConfig
+from repro.testinfra import SoftMCTester
+from repro.traces import BENCHMARKS
+
+RETENTION_MS = 328.0  # the paper's test condition (4 s at 45C scaled)
+BENCHMARKS_TO_SCREEN = (
+    "perlbench", "gobmk", "hmmer", "mcf", "gcc", "libquantum", "lbm",
+)
+
+
+def main() -> None:
+    geometry = DramGeometry(
+        channels=1, ranks=1, banks=4, rows_per_bank=64,
+        row_size_bytes=2048, block_size_bytes=64,
+    )
+    results = []
+    for name in BENCHMARKS_TO_SCREEN:
+        # A fresh device per benchmark so retention state never leaks
+        # between screens; the same seed keeps the *chip* identical.
+        device = DramDevice(geometry, seed=11)
+        device.cells.fault_map = FaultMap(
+            total_rows=geometry.total_rows,
+            bits_per_row=device.cells.vendor_mapping.physical_columns,
+            config=FaultModelConfig(vulnerable_cell_rate=1.5e-4),
+            seed=11,
+        )
+        tester = SoftMCTester(device)
+        image = BENCHMARKS[name].content.generate_image(
+            n_rows=16, row_bytes=geometry.row_size_bytes, seed=3,
+        )
+        report = tester.test_content(image, RETENTION_MS, replicate=True)
+        results.append((name, report.failing_row_fraction,
+                        len(report.failures)))
+
+    worst_case = FaultMap(
+        total_rows=geometry.total_rows,
+        bits_per_row=DramDevice(geometry, seed=11)
+        .cells.vendor_mapping.physical_columns,
+        config=FaultModelConfig(vulnerable_cell_rate=1.5e-4),
+        seed=11,
+    ).all_fail_rows(RETENTION_MS)
+    worst_fraction = len(worst_case) / geometry.total_rows
+
+    print(f"{'benchmark':<12} {'failing rows':>12} {'bit flips':>10} "
+          f"{'vs worst case':>14}")
+    for name, fraction, flips in sorted(results, key=lambda r: r[1]):
+        ratio = worst_fraction / fraction if fraction else float("inf")
+        print(f"{name:<12} {100 * fraction:>11.2f}% {flips:>10d} "
+              f"{ratio:>13.1f}x")
+    print(f"{'ALL-FAIL':<12} {100 * worst_fraction:>11.2f}%")
+    print("\nsparse (zero-heavy) images are an order of magnitude safer "
+          "than dense float/pointer images — the content dependence "
+          "MEMCON exploits.")
+
+
+if __name__ == "__main__":
+    main()

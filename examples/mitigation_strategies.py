@@ -1,0 +1,71 @@
+"""Mitigation strategies: HI-REF vs ECC vs remapping for detected failures.
+
+The paper's mechanism detects content-conditional failures; mitigating
+them admits three options (§1): refresh the row fast (HI-REF), correct
+with ECC, or remap the row to a reliable spare. This example tests a
+module's current content, then compares the refresh cost of each policy
+and of the cheapest-first cascade that combines them.
+
+Run with:  python examples/mitigation_strategies.py
+"""
+
+import numpy as np
+
+from repro.core import EccConfig, RemapTable, plan_mitigations
+from repro.dram import DramDevice, DramGeometry
+from repro.dram.faults import FaultMap, FaultModelConfig
+
+RETENTION_MS = 328.0
+
+
+def main() -> None:
+    geometry = DramGeometry(
+        channels=1, ranks=1, banks=4, rows_per_bank=256,
+        row_size_bytes=2048, block_size_bytes=64,
+    )
+    device = DramDevice(geometry, seed=17)
+    device.cells.fault_map = FaultMap(
+        total_rows=geometry.total_rows,
+        bits_per_row=device.cells.vendor_mapping.physical_columns,
+        config=FaultModelConfig(vulnerable_cell_rate=6e-4),
+        seed=17,
+    )
+
+    # Fill with program-like content and collect per-row failures.
+    rng = np.random.default_rng(3)
+    failing_by_row = {}
+    for row in range(geometry.total_rows):
+        device.write_row(
+            row,
+            rng.integers(0, 256, geometry.row_size_bytes,
+                         dtype=np.uint8).tobytes(),
+            now_ms=0.0,
+        )
+        failing_by_row[row] = device.cells.failing_cells(row, RETENTION_MS)
+    n_failing = sum(1 for cells in failing_by_row.values() if cells)
+    print(f"{geometry.total_rows} rows tested at {RETENTION_MS:.0f} ms: "
+          f"{n_failing} rows fail with this content\n")
+
+    # Spare region: 1% of capacity, like a manufacturer's redundancy.
+    spare_count = geometry.total_rows // 100
+    policies = (
+        ("HI-REF only", None, None),
+        ("ECC (SECDED) only", None, EccConfig()),
+        ("remap only", RemapTable(range(spare_count)), None),
+        ("cascade: ECC then remap",
+         RemapTable(range(spare_count)), EccConfig()),
+    )
+    print(f"{'policy':<26} {'LO':>5} {'ECC':>5} {'remap':>6} {'HI':>5} "
+          f"{'refresh ops/window':>19}")
+    for label, table, ecc in policies:
+        plan = plan_mitigations(failing_by_row, remap_table=table, ecc=ecc)
+        print(f"{label:<26} {plan.lo_ref_rows:>5} {plan.ecc_rows:>5} "
+              f"{plan.remapped_rows:>6} {plan.hi_ref_rows:>5} "
+              f"{plan.refresh_ops_per_window():>19.0f}")
+    print("\nthe cascade keeps almost every row at the slow refresh rate: "
+          "ECC absorbs single-bit rows, spares absorb the rest, and only "
+          "overflow rows pay the 4x HI-REF cost.")
+
+
+if __name__ == "__main__":
+    main()

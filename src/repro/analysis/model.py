@@ -1,0 +1,97 @@
+"""Closed-form write-interval models (the analytics behind paper §4.1).
+
+For a Pareto interval distribution ``P(L > x) = (xm / x) ** alpha`` the
+conditional survival of the *remaining* interval has the closed form
+
+    P(RIL > r | CIL = c) = P(L > c + r) / P(L > c) = (c / (c + r)) ** alpha
+
+for c >= xm — increasing in ``c``: the decreasing-hazard-rate property
+that makes PRIL work. These helpers let the library cross-check the
+empirical CIL/RIL curves of :mod:`repro.analysis.intervals` against the
+theory, and size quanta analytically before any trace exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParetoIntervalModel:
+    """Analytic interval model: Pareto(xm, alpha)."""
+
+    alpha: float
+    xm_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.xm_ms <= 0:
+            raise ValueError("xm_ms must be positive")
+
+    # ------------------------------------------------------------------
+    def survival(self, x_ms: float) -> float:
+        """P(interval > x)."""
+        if x_ms < 0:
+            raise ValueError("x_ms must be non-negative")
+        if x_ms <= self.xm_ms:
+            return 1.0
+        return (self.xm_ms / x_ms) ** self.alpha
+
+    def conditional_ril_survival(self, cil_ms: float, ril_ms: float) -> float:
+        """P(RIL > ril | CIL = cil), the paper's Figure 11 quantity."""
+        if cil_ms < 0 or ril_ms < 0:
+            raise ValueError("times must be non-negative")
+        effective_cil = max(cil_ms, self.xm_ms)
+        return (effective_cil / (effective_cil + ril_ms)) ** self.alpha
+
+    def hazard(self, x_ms: float) -> float:
+        """Instantaneous hazard rate h(x) = alpha / x (for x >= xm)."""
+        if x_ms < self.xm_ms:
+            raise ValueError("hazard defined for x >= xm")
+        return self.alpha / x_ms
+
+    # ------------------------------------------------------------------
+    def expected_remaining_ms(self, cil_ms: float) -> float:
+        """E[RIL | CIL = cil]; finite only when alpha > 1.
+
+        For alpha <= 1 the conditional mean diverges — the regime real
+        write traces sit in, which is why MEMCON's benefit is so large.
+        """
+        if self.alpha <= 1.0:
+            return math.inf
+        effective_cil = max(cil_ms, self.xm_ms)
+        return effective_cil / (self.alpha - 1.0)
+
+    def cil_for_target_confidence(
+        self, ril_ms: float, confidence: float
+    ) -> float:
+        """Smallest CIL giving P(RIL > ril | CIL) >= confidence.
+
+        Solves the Figure 11 relation for the quantum: how long must a
+        page be idle before predicting another ``ril_ms`` of idleness is
+        right with the requested probability.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if ril_ms <= 0:
+            raise ValueError("ril_ms must be positive")
+        # (c / (c + r)) ** alpha >= p  <=>  c >= r * q / (1 - q),
+        # with q = p ** (1 / alpha).
+        q = confidence ** (1.0 / self.alpha)
+        cil = ril_ms * q / (1.0 - q)
+        return max(cil, self.xm_ms)
+
+
+def dhr_increase_with_cil(
+    model: ParetoIntervalModel, ril_ms: float, cil_lo_ms: float,
+    cil_hi_ms: float,
+) -> float:
+    """How much waiting longer helps: P at cil_hi minus P at cil_lo."""
+    if cil_hi_ms < cil_lo_ms:
+        raise ValueError("cil_hi_ms must be >= cil_lo_ms")
+    return (
+        model.conditional_ril_survival(cil_hi_ms, ril_ms)
+        - model.conditional_ril_survival(cil_lo_ms, ril_ms)
+    )

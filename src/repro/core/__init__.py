@@ -1,0 +1,84 @@
+"""MEMCON core: cost model, PRIL predictor, test engines, controller."""
+
+from .costmodel import (
+    CostModel,
+    TestMode,
+    copy_and_compare_storage_overhead,
+    test_cost_ns,
+)
+from .ecc import (
+    EccConfig,
+    Mitigation,
+    MitigationSummary,
+    choose_mitigation,
+    row_is_correctable,
+    summarise_mitigations,
+)
+from .indram import (
+    AcceleratedCostModel,
+    CopyMechanism,
+    accelerated_test_cost_ns,
+    copy_cost_ns,
+    min_write_interval_by_mechanism,
+)
+from .memcon import (
+    MemconConfig,
+    MemconController,
+    MemconReport,
+    simulate_refresh_reduction,
+)
+from .pril import PrilPredictor, PrilStats
+from .refresh import (
+    FixedRefreshPolicy,
+    RaidrPolicy,
+    RefreshLedger,
+    RefreshState,
+    StateTimes,
+)
+from .remap import MitigationPlan, RemapTable, plan_mitigations
+from .silentwrites import SilentWriteFilter, SilentWriteStats, filter_trace
+from .testing import (
+    ReservedRegion,
+    RowTestEngine,
+    RowTestResult,
+    make_reserved_region,
+)
+
+__all__ = [
+    "AcceleratedCostModel",
+    "CopyMechanism",
+    "CostModel",
+    "EccConfig",
+    "FixedRefreshPolicy",
+    "Mitigation",
+    "MitigationPlan",
+    "MitigationSummary",
+    "RemapTable",
+    "plan_mitigations",
+    "SilentWriteFilter",
+    "SilentWriteStats",
+    "accelerated_test_cost_ns",
+    "choose_mitigation",
+    "copy_cost_ns",
+    "filter_trace",
+    "min_write_interval_by_mechanism",
+    "row_is_correctable",
+    "summarise_mitigations",
+    "MemconConfig",
+    "MemconController",
+    "MemconReport",
+    "PrilPredictor",
+    "PrilStats",
+    "RaidrPolicy",
+    "RefreshLedger",
+    "RefreshState",
+    "ReservedRegion",
+    "RowTestEngine",
+    "RowTestResult",
+    "StateTimes",
+    "TestMode",
+    "copy_and_compare_storage_overhead",
+    "make_reserved_region",
+    "simulate_refresh_reduction",
+    "test_cost_ns",
+]

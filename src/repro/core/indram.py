@@ -1,0 +1,94 @@
+"""In-DRAM copy acceleration for Copy&Compare (paper footnote 6).
+
+Copy&Compare's extra cost over Read&Compare is the full-row write that
+parks the in-test row in the reserved region. The paper notes this copy
+can be done inside DRAM — RowClone (bank-internal, two back-to-back
+activations) or LISA (inter-subarray links) — dropping the copy from a
+128-burst streaming write to a couple of row-cycle times, and leaving
+only the two reads (for ECC computation) on the channel.
+
+This module extends the cost model with those mechanisms and recomputes
+the MinWriteInterval, quantifying how much of Copy&Compare's amortisation
+gap the accelerated copies close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+from ..dram.timing import DDR3_1600, TimingParameters
+from .costmodel import CostModel, TestMode
+
+
+class CopyMechanism(Enum):
+    """How the in-test row reaches the reserved region."""
+
+    OVER_CHANNEL = "over_channel"   # baseline: read out, write back
+    ROWCLONE = "rowclone"           # in-bank: ACT src -> ACT dst -> PRE
+    LISA = "lisa"                   # inter-subarray row-buffer movement
+
+
+def copy_cost_ns(
+    mechanism: CopyMechanism,
+    timing: TimingParameters = DDR3_1600,
+) -> float:
+    """Latency of copying one full row to the reserved region."""
+    if mechanism is CopyMechanism.OVER_CHANNEL:
+        return timing.row_write_ns
+    if mechanism is CopyMechanism.ROWCLONE:
+        # Back-to-back activation of source then destination row, then
+        # precharge: tRAS + tRAS + tRP (RowClone's FPM intra-subarray copy).
+        return 2 * timing.tRAS + timing.tRP
+    if mechanism is CopyMechanism.LISA:
+        # Row-buffer movement across linked subarrays: one activation plus
+        # a handful of link transfers, slightly slower than RowClone FPM.
+        return 2 * timing.tRAS + timing.tRP + 8 * timing.tCK
+    raise ValueError(f"unknown copy mechanism {mechanism!r}")
+
+
+def accelerated_test_cost_ns(
+    mechanism: CopyMechanism,
+    timing: TimingParameters = DDR3_1600,
+) -> float:
+    """Copy&Compare cost with the given copy mechanism.
+
+    Two full-row reads (ECC before/after) always cross the channel; only
+    the parking copy is accelerated.
+    """
+    return 2 * timing.row_read_ns + copy_cost_ns(mechanism, timing)
+
+
+@dataclass(frozen=True)
+class AcceleratedCostModel(CostModel):
+    """Cost model whose Copy&Compare uses an in-DRAM copy mechanism."""
+
+    copy_mechanism: CopyMechanism = CopyMechanism.ROWCLONE
+
+    def memcon_cost_ns(self, t_ms: float, mode: TestMode) -> float:
+        if mode is not TestMode.COPY_AND_COMPARE:
+            return super().memcon_cost_ns(t_ms, mode)
+        baseline = super().memcon_cost_ns(t_ms, mode)
+        saved = self.timing.copy_and_compare_ns - accelerated_test_cost_ns(
+            self.copy_mechanism, self.timing
+        )
+        return baseline - saved
+
+
+def min_write_interval_by_mechanism(
+    timing: TimingParameters = DDR3_1600,
+    lo_ref_interval_ms: float = 64.0,
+) -> Dict[CopyMechanism, float]:
+    """MinWriteInterval of Copy&Compare under each copy mechanism."""
+    results = {}
+    for mechanism in CopyMechanism:
+        model = AcceleratedCostModel(
+            timing=timing,
+            lo_ref_interval_ms=lo_ref_interval_ms,
+            copy_mechanism=mechanism,
+        )
+        results[mechanism] = model.min_write_interval_ms(
+            TestMode.COPY_AND_COMPARE
+        )
+    return results

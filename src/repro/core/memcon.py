@@ -1,0 +1,366 @@
+"""The MEMCON controller and its refresh-reduction accounting.
+
+Two implementations of the same mechanism:
+
+* :class:`MemconController` — the event-driven reference. It wires PRIL,
+  a row-test engine, a functional DRAM device and a refresh ledger
+  together and processes a write trace event by event, exactly following
+  the paper's workflow: every write bumps its row to HI-REF and updates
+  PRIL; at each quantum boundary PRIL yields the pages predicted idle, and
+  MEMCON tests them; rows that pass move to LO-REF, rows that fail stay at
+  HI-REF.
+
+* :func:`simulate_refresh_reduction` — a fast, vectorised accounting model
+  with identical semantics for unbounded PRIL buffers (cross-checked in
+  the test suite). It evaluates per page which writes qualify as
+  single-write-in-quantum followed by an idle quantum, and integrates
+  LO-REF time directly. The experiments driving the paper's Figures 14,
+  17 and 18 use this path so full traces stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..dram.timing import HI_REF_INTERVAL_MS, LO_REF_INTERVAL_MS, DDR3_1600
+from ..traces.events import WriteTrace
+from .costmodel import TestMode, test_cost_ns
+from .pril import PrilPredictor
+from .refresh import RefreshLedger, RefreshState
+from .testing import RowTestEngine
+
+
+@dataclass
+class MemconConfig:
+    """Knobs shared by both MEMCON implementations."""
+
+    quantum_ms: float = 1024.0
+    hi_ref_interval_ms: float = HI_REF_INTERVAL_MS
+    lo_ref_interval_ms: float = LO_REF_INTERVAL_MS
+    test_mode: TestMode = TestMode.READ_AND_COMPARE
+    #: Duration a row sits idle during a test: one LO-REF retention window.
+    test_duration_ms: float = LO_REF_INTERVAL_MS
+    #: Test read-only pages (never written in the trace) once at start-up
+    #: and run them at LO-REF — the paper's read-only-row optimisation.
+    test_read_only_pages: bool = True
+    #: Threshold separating correct from mispredicted tests in reporting.
+    long_interval_ms: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.quantum_ms <= 0:
+            raise ValueError("quantum_ms must be positive")
+        if self.hi_ref_interval_ms <= 0 or self.lo_ref_interval_ms <= 0:
+            raise ValueError("refresh intervals must be positive")
+        if self.lo_ref_interval_ms <= self.hi_ref_interval_ms:
+            raise ValueError("LO-REF interval must exceed HI-REF interval")
+        if self.test_duration_ms <= 0:
+            raise ValueError("test_duration_ms must be positive")
+
+
+@dataclass
+class MemconReport:
+    """Outcome of running MEMCON over one trace."""
+
+    workload: str
+    config: MemconConfig
+    window_ms: float
+    total_pages: int
+    refresh_count: float
+    baseline_refresh_count: float
+    lo_ref_time_fraction: float
+    tests_total: int
+    tests_failed: int
+    tests_correct: int        # prediction held: no write within long_interval
+    tests_mispredicted: int
+    refresh_time_ns: float
+    baseline_refresh_time_ns: float
+    testing_time_ns: float
+    testing_time_correct_ns: float
+    testing_time_mispredicted_ns: float
+
+    @property
+    def refresh_reduction(self) -> float:
+        if self.baseline_refresh_count == 0:
+            return 0.0
+        return 1.0 - self.refresh_count / self.baseline_refresh_count
+
+    @property
+    def upper_bound_reduction(self) -> float:
+        """Reduction if every row ran at LO-REF always (75% for 16/64 ms)."""
+        return 1.0 - (
+            self.config.hi_ref_interval_ms / self.config.lo_ref_interval_ms
+        )
+
+    @property
+    def testing_time_vs_baseline_refresh(self) -> float:
+        """Figure 18's headline: testing time / baseline refresh time."""
+        if self.baseline_refresh_time_ns == 0:
+            return 0.0
+        return self.testing_time_ns / self.baseline_refresh_time_ns
+
+
+# ----------------------------------------------------------------------
+# Fast accounting model
+# ----------------------------------------------------------------------
+def simulate_refresh_reduction(
+    trace: WriteTrace,
+    config: Optional[MemconConfig] = None,
+    failing_page_fraction: float = 0.0,
+    seed: int = 0,
+) -> MemconReport:
+    """Account MEMCON's refresh and testing costs over a write trace.
+
+    Semantics (unbounded PRIL buffers): a write qualifies for testing iff
+    it is the only write to its page within its quantum and the page stays
+    unwritten through the following quantum; the test starts at that
+    quantum boundary, holds the row for ``test_duration_ms``, and — if the
+    content passes — the row runs at LO-REF until its next write. Failing
+    pages (drawn pseudo-randomly with ``failing_page_fraction``, modelling
+    content that trips the fault model) always return to HI-REF.
+
+    Read-only pages are tested once at time zero when enabled.
+    """
+    config = config or MemconConfig()
+    if not 0.0 <= failing_page_fraction <= 1.0:
+        raise ValueError("failing_page_fraction must be a probability")
+    rng = np.random.default_rng(seed)
+    quantum = config.quantum_ms
+    window = trace.duration_ms
+    test_ms = config.test_duration_ms
+    cost_ns = test_cost_ns(config.test_mode)
+
+    lo_time_ms = 0.0
+    testing_time_ms = 0.0
+    tests_total = 0
+    tests_failed = 0
+    tests_correct = 0
+    tests_mispredicted = 0
+
+    written = set(trace.writes)
+    for page, times in trace.writes.items():
+        if len(times) == 0:
+            written.discard(page)
+            continue
+        page_fails = rng.random() < failing_page_fraction
+        quanta = np.floor(times / quantum).astype(np.int64)
+        unique, first_idx, counts = np.unique(
+            quanta, return_index=True, return_counts=True
+        )
+        next_write = np.append(times[1:], window)
+        for u, idx, count in zip(unique, first_idx, counts):
+            if count != 1:
+                continue
+            boundary = (u + 2) * quantum  # end of the following quantum
+            if boundary >= window:
+                continue  # the trace ends before PRIL could predict
+            if next_write[idx] < boundary:
+                continue  # written again before prediction fired
+            tests_total += 1
+            test_end = boundary + test_ms
+            idle_until = next_write[idx]
+            testing_time_ms += min(test_ms, max(0.0, idle_until - boundary))
+            if idle_until - boundary > config.long_interval_ms:
+                tests_correct += 1
+            else:
+                tests_mispredicted += 1
+            if page_fails:
+                tests_failed += 1
+                continue
+            if idle_until > test_end:
+                lo_time_ms += min(idle_until, window) - test_end
+
+    # Read-only pages: one test at start-up, then LO-REF for the window.
+    n_read_only = trace.total_pages - len(written)
+    if config.test_read_only_pages and n_read_only > 0:
+        n_ro_failing = int(round(n_read_only * failing_page_fraction))
+        n_ro_passing = n_read_only - n_ro_failing
+        tests_total += n_read_only
+        tests_failed += n_ro_failing
+        tests_correct += n_read_only
+        testing_time_ms += n_read_only * test_ms
+        lo_time_ms += n_ro_passing * max(0.0, window - test_ms)
+
+    hi_time_ms = trace.total_pages * window - lo_time_ms - testing_time_ms
+    refresh_count = (
+        hi_time_ms / config.hi_ref_interval_ms
+        + lo_time_ms / config.lo_ref_interval_ms
+    )
+    baseline_count = trace.total_pages * window / config.hi_ref_interval_ms
+    refresh_ns = DDR3_1600.row_refresh_ns
+    correct_frac = tests_correct / tests_total if tests_total else 0.0
+    return MemconReport(
+        workload=trace.name,
+        config=config,
+        window_ms=window,
+        total_pages=trace.total_pages,
+        refresh_count=refresh_count,
+        baseline_refresh_count=baseline_count,
+        lo_ref_time_fraction=lo_time_ms / (trace.total_pages * window),
+        tests_total=tests_total,
+        tests_failed=tests_failed,
+        tests_correct=tests_correct,
+        tests_mispredicted=tests_mispredicted,
+        refresh_time_ns=refresh_count * refresh_ns,
+        baseline_refresh_time_ns=baseline_count * refresh_ns,
+        testing_time_ns=tests_total * cost_ns,
+        testing_time_correct_ns=tests_total * cost_ns * correct_frac,
+        testing_time_mispredicted_ns=tests_total * cost_ns * (1 - correct_frac),
+    )
+
+
+# ----------------------------------------------------------------------
+# Event-driven reference controller
+# ----------------------------------------------------------------------
+class MemconController:
+    """Event-driven MEMCON over a write trace (reference implementation).
+
+    ``page_to_row`` maps trace pages to DRAM rows (identity by default).
+    When a device and test engine are supplied, tests run real content
+    through the fault model; otherwise a ``fails`` predicate decides test
+    outcomes (useful for accounting-only runs and unit tests).
+    """
+
+    def __init__(
+        self,
+        total_pages: int,
+        config: Optional[MemconConfig] = None,
+        test_engine: Optional[RowTestEngine] = None,
+        fails: Optional[Callable[[int], bool]] = None,
+        buffer_capacity: Optional[int] = None,
+    ) -> None:
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        self.config = config or MemconConfig()
+        self.total_pages = total_pages
+        self.pril = PrilPredictor(
+            quantum_ms=self.config.quantum_ms,
+            buffer_capacity=buffer_capacity,
+        )
+        self.ledger = RefreshLedger(
+            total_rows=total_pages,
+            hi_ref_interval_ms=self.config.hi_ref_interval_ms,
+            lo_ref_interval_ms=self.config.lo_ref_interval_ms,
+        )
+        self.engine = test_engine
+        self._fails = fails if fails is not None else (lambda page: False)
+        self._now_ms = 0.0
+        self._next_boundary_ms = self.config.quantum_ms
+        self._last_write_ms: Dict[int, float] = {}
+        self.tests_total = 0
+        self.tests_failed = 0
+        self.tests_correct = 0
+        self.tests_mispredicted = 0
+
+    # ------------------------------------------------------------------
+    def _advance_to(self, now_ms: float, trace: WriteTrace) -> None:
+        """Cross any quantum boundaries between the clock and ``now_ms``."""
+        while self._next_boundary_ms <= now_ms:
+            boundary = self._next_boundary_ms
+            for page in self.pril.end_quantum():
+                self._start_test(page, boundary, trace)
+            self._next_boundary_ms += self.config.quantum_ms
+        self._now_ms = now_ms
+
+    def _start_test(self, page: int, boundary_ms: float, trace: WriteTrace) -> None:
+        cfg = self.config
+        test_end = boundary_ms + cfg.test_duration_ms
+        self.tests_total += 1
+        # Classify the prediction against the trace's future for reporting.
+        next_write = self._next_write_after(page, boundary_ms, trace)
+        if next_write - boundary_ms > cfg.long_interval_ms:
+            self.tests_correct += 1
+        else:
+            self.tests_mispredicted += 1
+        self.ledger.set_state(page, RefreshState.TESTING, boundary_ms)
+        if next_write < test_end:
+            # The test will be aborted by the write; the write handler
+            # moves the row back to HI-REF when it arrives.
+            return
+        if self.engine is not None:
+            failed = not self.engine.run_test(page, boundary_ms).passed
+        else:
+            failed = self._fails(page)
+        if failed:
+            self.tests_failed += 1
+            self.ledger.set_state(page, RefreshState.HI_REF, test_end)
+        else:
+            self.ledger.set_state(page, RefreshState.LO_REF, test_end)
+
+    @staticmethod
+    def _next_write_after(page: int, t_ms: float, trace: WriteTrace) -> float:
+        times = trace.writes.get(page)
+        if times is None or len(times) == 0:
+            return trace.duration_ms
+        idx = np.searchsorted(times, t_ms, side="right")
+        if idx >= len(times):
+            return trace.duration_ms
+        return float(times[idx])
+
+    # ------------------------------------------------------------------
+    def run(self, trace: WriteTrace, failing_page_fraction: float = 0.0,
+            seed: int = 0) -> MemconReport:
+        """Process a whole trace and return the accounting report."""
+        if trace.total_pages != self.total_pages:
+            raise ValueError("trace footprint does not match controller")
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        if failing_page_fraction:
+            failing = {
+                page for page in range(self.total_pages)
+                if rng.random() < failing_page_fraction
+            }
+            self._fails = lambda page: page in failing
+        # Read-only pages: tested once at start-up.
+        if cfg.test_read_only_pages:
+            written = {p for p, t in trace.writes.items() if len(t)}
+            for page in range(self.total_pages):
+                if page in written:
+                    continue
+                self.tests_total += 1
+                self.tests_correct += 1
+                self.ledger.set_state(page, RefreshState.TESTING, 0.0)
+                if self._fails(page):
+                    self.tests_failed += 1
+                    self.ledger.set_state(
+                        page, RefreshState.HI_REF, cfg.test_duration_ms
+                    )
+                else:
+                    self.ledger.set_state(
+                        page, RefreshState.LO_REF, cfg.test_duration_ms
+                    )
+        for time_ms, page in trace.merged_events():
+            self._advance_to(time_ms, trace)
+            if self.ledger.state_of(page) is not RefreshState.HI_REF:
+                self.ledger.set_state(page, RefreshState.HI_REF, time_ms)
+            self.pril.observe_write(page)
+            self._last_write_ms[page] = time_ms
+        # Advance to just below the window end: a quantum boundary landing
+        # exactly on the capture edge cannot start a (zero-length) test.
+        self._advance_to(float(np.nextafter(trace.duration_ms, 0.0)), trace)
+        self.ledger.finalize(trace.duration_ms)
+
+        cost_ns = test_cost_ns(cfg.test_mode)
+        refresh_ns = DDR3_1600.row_refresh_ns
+        refresh_count = self.ledger.refresh_count()
+        baseline = self.ledger.baseline_refresh_count()
+        return MemconReport(
+            workload=trace.name,
+            config=cfg,
+            window_ms=trace.duration_ms,
+            total_pages=self.total_pages,
+            refresh_count=refresh_count,
+            baseline_refresh_count=baseline,
+            lo_ref_time_fraction=self.ledger.lo_ref_time_fraction(),
+            tests_total=self.tests_total,
+            tests_failed=self.tests_failed,
+            tests_correct=self.tests_correct,
+            tests_mispredicted=self.tests_mispredicted,
+            refresh_time_ns=refresh_count * refresh_ns,
+            baseline_refresh_time_ns=baseline * refresh_ns,
+            testing_time_ns=self.tests_total * cost_ns,
+            testing_time_correct_ns=self.tests_correct * cost_ns,
+            testing_time_mispredicted_ns=self.tests_mispredicted * cost_ns,
+        )

@@ -1,0 +1,179 @@
+"""PRIL: probabilistic remaining-interval-length prediction (paper §4.2).
+
+PRIL exploits the decreasing hazard rate of Pareto-distributed write
+intervals: a page that has already been idle for a quantum is likely to
+stay idle much longer. Rather than a per-page idle counter, PRIL tracks
+writes over coarse, fixed-length time quanta with two small structures
+(Figure 13):
+
+* a **write-map** — one bit per page, set on the page's first write in the
+  current quantum;
+* a **write-buffer** — the addresses of pages written *exactly once* in
+  the quantum. A second write inside the quantum deletes the page: a page
+  rewritten within one quantum clearly has a short interval, and dropping
+  it keeps the buffer small (the paper's footnote 8 design choice).
+
+Two quanta are tracked. At each quantum boundary, pages still sitting in
+the *previous* buffer were written once in that quantum and never since —
+their current interval length provably exceeds one quantum — so they are
+predicted to stay idle and handed to MEMCON for testing. Buffers/maps then
+swap, and the drained previous set is cleared.
+
+A bounded buffer capacity is honoured exactly as the paper specifies
+(footnote 10): on overflow the new page is discarded — it simply stays at
+HI-REF, affecting opportunity but never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class PrilStats:
+    """Bookkeeping counters for analysis and the Figure 18 accounting."""
+
+    writes_observed: int = 0
+    first_writes: int = 0
+    repeat_write_drops: int = 0
+    cross_quantum_drops: int = 0
+    buffer_overflow_drops: int = 0
+    predictions_made: int = 0
+
+
+class _QuantumTracker:
+    """One quantum's write-map plus write-buffer."""
+
+    __slots__ = ("written", "buffer")
+
+    def __init__(self) -> None:
+        self.written: Set[int] = set()   # write-map: pages with >= 1 write
+        self.buffer: Set[int] = set()    # pages with exactly one write
+
+    def clear(self) -> None:
+        self.written.clear()
+        self.buffer.clear()
+
+
+class PrilPredictor:
+    """The quantum-based long-write-interval predictor.
+
+    Parameters
+    ----------
+    quantum_ms:
+        Quantum length. The paper uses the CIL sweet spot of 512-2048 ms.
+    buffer_capacity:
+        Maximum pages held per write-buffer (paper sizes ~4000 entries for
+        a 17 KB overhead); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        quantum_ms: float = 1024.0,
+        buffer_capacity: Optional[int] = None,
+    ) -> None:
+        if quantum_ms <= 0:
+            raise ValueError("quantum_ms must be positive")
+        if buffer_capacity is not None and buffer_capacity <= 0:
+            raise ValueError("buffer_capacity must be positive or None")
+        self.quantum_ms = quantum_ms
+        self.buffer_capacity = buffer_capacity
+        self._current = _QuantumTracker()
+        self._previous = _QuantumTracker()
+        self._quantum_index = 0
+        self.stats = PrilStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def quantum_index(self) -> int:
+        """How many quantum boundaries have passed."""
+        return self._quantum_index
+
+    @property
+    def current_buffer_size(self) -> int:
+        return len(self._current.buffer)
+
+    @property
+    def previous_buffer_size(self) -> int:
+        return len(self._previous.buffer)
+
+    # ------------------------------------------------------------------
+    def observe_write(self, page: int) -> None:
+        """Process one write access (Figure 13, left half).
+
+        * first write of this page in the current quantum — record it in
+          the current map and (capacity permitting) the current buffer;
+        * repeat write — drop it from the current buffer (interval shorter
+          than a quantum);
+        * any write also evicts the page from the *previous* buffer: the
+          page did not stay idle across the quantum boundary.
+        """
+        if page < 0:
+            raise ValueError("page must be non-negative")
+        stats = self.stats
+        stats.writes_observed += 1
+
+        if page in self._current.written:
+            # Step 2: repeat write in the same quantum.
+            if page in self._current.buffer:
+                self._current.buffer.discard(page)
+                stats.repeat_write_drops += 1
+        else:
+            # Step 1: first occurrence this quantum.
+            self._current.written.add(page)
+            stats.first_writes += 1
+            if (
+                self.buffer_capacity is not None
+                and len(self._current.buffer) >= self.buffer_capacity
+            ):
+                stats.buffer_overflow_drops += 1
+            else:
+                self._current.buffer.add(page)
+
+        # Step 3: the page was written, so its interval did not span the
+        # previous-quantum boundary.
+        if page in self._previous.buffer:
+            self._previous.buffer.discard(page)
+            stats.cross_quantum_drops += 1
+
+    def end_quantum(self) -> List[int]:
+        """Close the current quantum (Figure 13, right half).
+
+        Returns the pages predicted to have a long remaining interval:
+        everything still in the previous buffer (written exactly once in
+        the previous quantum, untouched in the current one). Clears the
+        previous structures and swaps.
+        """
+        predicted = sorted(self._previous.buffer)
+        self.stats.predictions_made += len(predicted)
+        self._previous.clear()
+        self._previous, self._current = self._current, self._previous
+        self._quantum_index += 1
+        return predicted
+
+    def reset(self) -> None:
+        """Forget all tracked state (quantum counter included)."""
+        self._current.clear()
+        self._previous.clear()
+        self._quantum_index = 0
+        self.stats = PrilStats()
+
+    # ------------------------------------------------------------------
+    def storage_overhead_bytes(
+        self, total_pages: int, address_bits: int = 34
+    ) -> int:
+        """Hardware cost estimate: two write-maps plus two write-buffers.
+
+        One bit per page per map; ``address_bits`` per buffer entry. With
+        an 8 GB / 8 KB-page memory and 4000-entry buffers this matches the
+        paper's ~17 KB buffer + 128 KB map figure (§6.4).
+        """
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        if address_bits <= 0:
+            raise ValueError("address_bits must be positive")
+        map_bytes = 2 * total_pages // 8
+        capacity = self.buffer_capacity if self.buffer_capacity else 4000
+        buffer_bytes = 2 * capacity * address_bits // 8
+        return map_bytes + buffer_bytes

@@ -1,0 +1,241 @@
+"""Per-row refresh states, accounting ledger, and baseline policies.
+
+MEMCON's mitigation is a two-rate refresh scheme: rows whose current
+content is proven safe run at LO-REF; everything else (freshly written,
+failing, or untested rows) runs at HI-REF; rows under test receive no
+refreshes at all (the test *is* a retention window). The
+:class:`RefreshLedger` integrates time-in-state per row and converts it to
+refresh-operation counts, the metric behind the paper's Figures 14-18.
+
+Baselines:
+
+* :class:`FixedRefreshPolicy` — every row at one rate (the paper's 16, 32
+  and 64 ms configurations);
+* :class:`RaidrPolicy` — RAIDR-style profiling: rows that could fail under
+  *any* content (the ALL-FAIL set, requiring DRAM-internals knowledge to
+  find) are pinned at HI-REF forever; all others run at LO-REF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional, Set
+
+from ..dram.timing import HI_REF_INTERVAL_MS, LO_REF_INTERVAL_MS
+
+
+class RefreshState(Enum):
+    """Refresh treatment of one row at a point in time."""
+
+    HI_REF = "hi_ref"
+    LO_REF = "lo_ref"
+    TESTING = "testing"   # idle retention window: no refreshes at all
+
+
+@dataclass
+class StateTimes:
+    """Accumulated milliseconds a row spent in each state."""
+
+    hi_ms: float = 0.0
+    lo_ms: float = 0.0
+    testing_ms: float = 0.0
+
+    def add(self, state: RefreshState, duration_ms: float) -> None:
+        if duration_ms < 0:
+            raise ValueError("duration must be non-negative")
+        if state is RefreshState.HI_REF:
+            self.hi_ms += duration_ms
+        elif state is RefreshState.LO_REF:
+            self.lo_ms += duration_ms
+        else:
+            self.testing_ms += duration_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.hi_ms + self.lo_ms + self.testing_ms
+
+
+class RefreshLedger:
+    """Integrates per-row refresh state over time and counts refreshes.
+
+    Rows default to HI_REF from time zero (MEMCON refreshes aggressively
+    until a row is proven safe). Call :meth:`set_state` on transitions and
+    :meth:`finalize` once at the end of the simulated window.
+    """
+
+    def __init__(
+        self,
+        total_rows: int,
+        hi_ref_interval_ms: float = HI_REF_INTERVAL_MS,
+        lo_ref_interval_ms: float = LO_REF_INTERVAL_MS,
+    ) -> None:
+        if total_rows <= 0:
+            raise ValueError("total_rows must be positive")
+        if hi_ref_interval_ms <= 0 or lo_ref_interval_ms <= 0:
+            raise ValueError("refresh intervals must be positive")
+        if lo_ref_interval_ms <= hi_ref_interval_ms:
+            raise ValueError("LO-REF interval must exceed HI-REF interval")
+        self.total_rows = total_rows
+        self.hi_ref_interval_ms = hi_ref_interval_ms
+        self.lo_ref_interval_ms = lo_ref_interval_ms
+        self._state: Dict[int, RefreshState] = {}
+        self._since: Dict[int, float] = {}
+        self._times: Dict[int, StateTimes] = {}
+        self._finalized_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def state_of(self, row: int) -> RefreshState:
+        self._check_row(row)
+        return self._state.get(row, RefreshState.HI_REF)
+
+    def set_state(self, row: int, state: RefreshState, now_ms: float) -> None:
+        """Transition a row to a new state at time ``now_ms``."""
+        self._check_row(row)
+        if self._finalized_at is not None:
+            raise RuntimeError("ledger already finalized")
+        since = self._since.get(row, 0.0)
+        if now_ms < since:
+            raise ValueError("time must not go backwards")
+        current = self._state.get(row, RefreshState.HI_REF)
+        self._times.setdefault(row, StateTimes()).add(current, now_ms - since)
+        self._state[row] = state
+        self._since[row] = now_ms
+
+    def finalize(self, end_ms: float) -> None:
+        """Close the accounting window at ``end_ms``."""
+        if self._finalized_at is not None:
+            raise RuntimeError("ledger already finalized")
+        for row in list(self._times) + [
+            r for r in self._state if r not in self._times
+        ]:
+            since = self._since.get(row, 0.0)
+            if end_ms < since:
+                raise ValueError("end time precedes a recorded transition")
+            current = self._state.get(row, RefreshState.HI_REF)
+            self._times.setdefault(row, StateTimes()).add(
+                current, end_ms - since
+            )
+            self._since[row] = end_ms
+        self._finalized_at = end_ms
+
+    # ------------------------------------------------------------------
+    def row_times(self, row: int) -> StateTimes:
+        """Per-state time of one row. Untouched rows are all-HI."""
+        self._check_row(row)
+        if self._finalized_at is None:
+            raise RuntimeError("finalize the ledger first")
+        times = self._times.get(row)
+        if times is None:
+            return StateTimes(hi_ms=self._finalized_at)
+        return times
+
+    def refresh_count(self) -> float:
+        """Total refresh operations issued across all rows."""
+        if self._finalized_at is None:
+            raise RuntimeError("finalize the ledger first")
+        end = self._finalized_at
+        touched_hi = 0.0
+        touched_lo = 0.0
+        for times in self._times.values():
+            touched_hi += times.hi_ms
+            touched_lo += times.lo_ms
+        untouched = self.total_rows - len(self._times)
+        touched_hi += untouched * end
+        return (
+            touched_hi / self.hi_ref_interval_ms
+            + touched_lo / self.lo_ref_interval_ms
+        )
+
+    def baseline_refresh_count(self) -> float:
+        """Refreshes the all-HI-REF baseline issues over the same window."""
+        if self._finalized_at is None:
+            raise RuntimeError("finalize the ledger first")
+        return self.total_rows * self._finalized_at / self.hi_ref_interval_ms
+
+    def refresh_reduction(self) -> float:
+        """Fractional reduction in refresh operations vs the baseline."""
+        baseline = self.baseline_refresh_count()
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.refresh_count() / baseline
+
+    def lo_ref_time_fraction(self) -> float:
+        """Fraction of row-time spent at LO-REF (Figure 17's coverage)."""
+        if self._finalized_at is None:
+            raise RuntimeError("finalize the ledger first")
+        total = self.total_rows * self._finalized_at
+        if total == 0:
+            return 0.0
+        lo = sum(t.lo_ms for t in self._times.values())
+        return lo / total
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.total_rows:
+            raise ValueError(f"row {row} out of range")
+
+
+@dataclass(frozen=True)
+class FixedRefreshPolicy:
+    """Every row refreshed at one fixed interval (baseline systems)."""
+
+    interval_ms: float
+
+    def __post_init__(self) -> None:
+        if self.interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+
+    def refresh_count(self, total_rows: int, window_ms: float) -> float:
+        """Refresh operations issued over a window."""
+        if total_rows <= 0 or window_ms < 0:
+            raise ValueError("invalid row count or window")
+        return total_rows * window_ms / self.interval_ms
+
+
+@dataclass(frozen=True)
+class RaidrPolicy:
+    """RAIDR-style multi-rate refresh from a worst-case failure profile.
+
+    ``hi_ref_rows`` is the profiled ALL-FAIL set: rows that can fail under
+    some content at the LO-REF interval. RAIDR pins them at HI-REF for the
+    lifetime of the system; content never matters.
+    """
+
+    hi_ref_rows: frozenset
+    hi_ref_interval_ms: float = HI_REF_INTERVAL_MS
+    lo_ref_interval_ms: float = LO_REF_INTERVAL_MS
+
+    def __post_init__(self) -> None:
+        if self.hi_ref_interval_ms <= 0 or self.lo_ref_interval_ms <= 0:
+            raise ValueError("refresh intervals must be positive")
+
+    def interval_for(self, row: int) -> float:
+        return (
+            self.hi_ref_interval_ms
+            if row in self.hi_ref_rows
+            else self.lo_ref_interval_ms
+        )
+
+    def refresh_count(self, total_rows: int, window_ms: float) -> float:
+        """Refresh operations issued over a window."""
+        if total_rows <= 0 or window_ms < 0:
+            raise ValueError("invalid row count or window")
+        n_hi = len(self.hi_ref_rows)
+        n_lo = total_rows - n_hi
+        if n_lo < 0:
+            raise ValueError("more HI-REF rows than total rows")
+        return (
+            n_hi * window_ms / self.hi_ref_interval_ms
+            + n_lo * window_ms / self.lo_ref_interval_ms
+        )
+
+    def refresh_reduction(self, total_rows: int) -> float:
+        """Reduction vs the all-HI baseline (window-independent)."""
+        if total_rows <= 0:
+            raise ValueError("total_rows must be positive")
+        fixed = FixedRefreshPolicy(self.hi_ref_interval_ms)
+        window = 1.0
+        return 1.0 - self.refresh_count(total_rows, window) / fixed.refresh_count(
+            total_rows, window
+        )

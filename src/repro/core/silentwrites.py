@@ -1,0 +1,102 @@
+"""Silent-write detection (the paper's footnote 9 optimisation).
+
+A *silent write* stores the value that is already in memory. Content is
+unchanged, so MEMCON need not re-test the row — and, just as importantly,
+the row's write interval is effectively still running, so PRIL should not
+restart its idle clock. The paper cites the silent-store literature
+(Lepak & Lipasti) observing that a substantial fraction of stores are
+silent.
+
+The detector keeps a content digest per page (what a memory controller
+could maintain with one extra read per write, or for free on
+read-modify-write paths) and classifies each write as silent or not. The
+filtered trace it produces feeds straight into the existing PRIL/MEMCON
+pipeline.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..traces.events import WriteTrace
+
+
+@dataclass
+class SilentWriteStats:
+    """Counts from one filtering pass."""
+
+    writes_seen: int = 0
+    silent_writes: int = 0
+
+    @property
+    def silent_fraction(self) -> float:
+        if self.writes_seen == 0:
+            return 0.0
+        return self.silent_writes / self.writes_seen
+
+
+class SilentWriteFilter:
+    """Per-page content digests that classify writes as silent."""
+
+    def __init__(self) -> None:
+        self._digests: Dict[int, int] = {}
+        self.stats = SilentWriteStats()
+
+    def observe(self, page: int, content: bytes) -> bool:
+        """Record a write of ``content`` to ``page``; True when silent."""
+        if page < 0:
+            raise ValueError("page must be non-negative")
+        digest = zlib.crc32(content)
+        self.stats.writes_seen += 1
+        silent = self._digests.get(page) == digest
+        if silent:
+            self.stats.silent_writes += 1
+        else:
+            self._digests[page] = digest
+        return silent
+
+
+def filter_trace(
+    trace: WriteTrace,
+    silent_probability: float,
+    seed: int = 0,
+) -> Tuple[WriteTrace, SilentWriteStats]:
+    """Drop a ``silent_probability`` fraction of writes from a trace.
+
+    Write traces carry no data values, so silence is modelled
+    statistically: each write is independently silent with the given
+    probability (the silent-store literature reports 20-60% depending on
+    workload). The first write to a page is never silent — there is no
+    prior content to match.
+
+    Returns the filtered trace plus the statistics, ready for
+    :func:`repro.core.memcon.simulate_refresh_reduction`.
+    """
+    if not 0.0 <= silent_probability <= 1.0:
+        raise ValueError("silent_probability must be a probability")
+    rng = np.random.default_rng(seed)
+    stats = SilentWriteStats()
+    filtered: Dict[int, np.ndarray] = {}
+    for page, times in trace.writes.items():
+        if len(times) == 0:
+            continue
+        keep = rng.random(len(times)) >= silent_probability
+        keep[0] = True  # the first write always changes content
+        stats.writes_seen += len(times)
+        stats.silent_writes += int((~keep).sum())
+        kept = times[keep]
+        if len(kept):
+            filtered[page] = kept
+    return (
+        WriteTrace(
+            duration_ms=trace.duration_ms,
+            writes=filtered,
+            total_pages=trace.total_pages,
+            name=f"{trace.name}(silent-filtered)" if trace.name else "",
+        ),
+        stats,
+    )

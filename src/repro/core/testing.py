@@ -1,0 +1,215 @@
+"""Online row-test engines: Read&Compare and Copy&Compare (paper §3.3).
+
+A content test holds the in-test row idle for one full retention window so
+its cells reach their lowest charge, then compares the content before and
+after. The two modes differ in where the *before* image lives while the
+row is idle:
+
+* **Read&Compare** — the whole row is buffered in the memory controller;
+* **Copy&Compare** — the row is parked in a reserved DRAM region (so
+  program reads can still be served) and only an ECC digest stays in the
+  controller.
+
+Both engines run against the functional :class:`~repro.dram.DramDevice`,
+so detected failures are the *actual* data-dependent failures the fault
+model produces for the row's current content. Each engine also reports its
+memory-traffic cost, which the performance simulator injects as extra
+requests (Table 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from ..dram.device import DramDevice
+from ..dram.timing import LO_REF_INTERVAL_MS, DDR3_1600, TimingParameters
+from .costmodel import TestMode, test_cost_ns
+
+
+@dataclass(frozen=True)
+class RowTestResult:
+    """Outcome of one content test."""
+
+    row: int
+    mode: TestMode
+    passed: bool              # True -> no bit changed across the window
+    started_ms: float
+    finished_ms: float
+    flipped_bits: int         # 0 for Copy&Compare failures (digest only)
+    latency_cost_ns: float    # controller-side latency charged to the test
+    extra_reads: int          # full-row reads issued
+    extra_writes: int         # full-row writes issued
+
+
+class ReservedRegion:
+    """The Copy&Compare parking area: reserved rows at the top of each bank.
+
+    Allocation is a simple free list; requests to in-test rows are
+    redirected here by the memory controller (the paper notes the
+    redirection table is small because few rows are in test at once).
+    """
+
+    def __init__(self, rows: List[int]) -> None:
+        if not rows:
+            raise ValueError("reserved region needs at least one row")
+        if len(set(rows)) != len(rows):
+            raise ValueError("duplicate reserved rows")
+        self._free: List[int] = list(rows)
+        self._in_use: Dict[int, int] = {}  # in-test row -> parking row
+
+    @property
+    def capacity(self) -> int:
+        return len(self._free) + len(self._in_use)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def acquire(self, in_test_row: int) -> int:
+        """Reserve a parking row for an in-test row."""
+        if in_test_row in self._in_use:
+            raise ValueError(f"row {in_test_row} is already parked")
+        if not self._free:
+            raise RuntimeError("reserved region exhausted")
+        parking = self._free.pop()
+        self._in_use[in_test_row] = parking
+        return parking
+
+    def release(self, in_test_row: int) -> None:
+        """Return an in-test row's parking slot to the free list."""
+        parking = self._in_use.pop(in_test_row, None)
+        if parking is None:
+            raise ValueError(f"row {in_test_row} is not parked")
+        self._free.append(parking)
+
+    def redirect(self, row: int) -> Optional[int]:
+        """Where requests to ``row`` should go while it is in test."""
+        return self._in_use.get(row)
+
+
+def _ecc_digest(data: bytes) -> int:
+    """The controller-resident integrity digest used by Copy&Compare."""
+    return zlib.crc32(data)
+
+
+class RowTestEngine:
+    """Runs content tests against a DRAM device.
+
+    The engine is synchronous at the model level: :meth:`run_test` advances
+    the supplied clock across the idle window and returns the completed
+    result. (The cycle simulator accounts for the traffic separately.)
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        mode: TestMode = TestMode.READ_AND_COMPARE,
+        test_interval_ms: float = LO_REF_INTERVAL_MS,
+        timing: TimingParameters = DDR3_1600,
+        reserved_region: Optional[ReservedRegion] = None,
+    ) -> None:
+        if test_interval_ms <= 0:
+            raise ValueError("test_interval_ms must be positive")
+        if mode is TestMode.COPY_AND_COMPARE and reserved_region is None:
+            raise ValueError("Copy&Compare needs a reserved region")
+        self.device = device
+        self.mode = mode
+        self.test_interval_ms = test_interval_ms
+        self.timing = timing
+        self.reserved = reserved_region
+        self.tests_run = 0
+        self.tests_failed = 0
+
+    # ------------------------------------------------------------------
+    def run_test(self, row: int, now_ms: float) -> RowTestResult:
+        """Test ``row``'s current content across one retention window."""
+        if self.mode is TestMode.READ_AND_COMPARE:
+            result = self._read_and_compare(row, now_ms)
+        else:
+            result = self._copy_and_compare(row, now_ms)
+        self.tests_run += 1
+        if not result.passed:
+            self.tests_failed += 1
+        return result
+
+    def _read_and_compare(self, row: int, now_ms: float) -> RowTestResult:
+        before = self.device.read_row(row, now_ms)
+        finish_ms = now_ms + self.test_interval_ms
+        after = self.device.read_row(row, finish_ms)
+        flipped = _count_flipped_bits(before, after)
+        if flipped:
+            # Repair from the buffered copy: the controller holds the
+            # pristine row, so a failing test never loses data.
+            self.device.write_row(row, before, finish_ms)
+        return RowTestResult(
+            row=row,
+            mode=self.mode,
+            passed=flipped == 0,
+            started_ms=now_ms,
+            finished_ms=finish_ms,
+            flipped_bits=flipped,
+            latency_cost_ns=test_cost_ns(self.mode, self.timing),
+            extra_reads=2,
+            extra_writes=1 if flipped else 0,
+        )
+
+    def _copy_and_compare(self, row: int, now_ms: float) -> RowTestResult:
+        assert self.reserved is not None
+        before = self.device.read_row(row, now_ms)
+        digest_before = _ecc_digest(before)
+        parking = self.reserved.acquire(row)
+        self.device.write_row(parking, before, now_ms)
+        finish_ms = now_ms + self.test_interval_ms
+        after = self.device.read_row(row, finish_ms)
+        passed = _ecc_digest(after) == digest_before
+        extra_writes = 1
+        if not passed:
+            # Restore the pristine content from the parking row. The
+            # reserved region is refreshed at HI-REF while in use, so its
+            # copy does not decay across the test window — read it with
+            # the charge timestamp of its write.
+            pristine = self.device.read_row(parking, now_ms)
+            self.device.write_row(row, pristine, finish_ms)
+            extra_writes += 1
+        self.reserved.release(row)
+        return RowTestResult(
+            row=row,
+            mode=self.mode,
+            passed=passed,
+            started_ms=now_ms,
+            finished_ms=finish_ms,
+            flipped_bits=0 if passed else _count_flipped_bits(before, after),
+            latency_cost_ns=test_cost_ns(self.mode, self.timing),
+            extra_reads=2 if passed else 3,
+            extra_writes=extra_writes,
+        )
+
+
+def _count_flipped_bits(before: bytes, after: bytes) -> int:
+    if len(before) != len(after):
+        raise ValueError("row images differ in length")
+    return sum(bin(a ^ b).count("1") for a, b in zip(before, after))
+
+
+def make_reserved_region(
+    rows_per_bank: int,
+    banks: int,
+    reserved_per_bank: int = 512,
+) -> ReservedRegion:
+    """Reserve the top ``reserved_per_bank`` rows of each bank.
+
+    Matches the paper's sizing: 512 rows per bank of a 2 GB 8-bank module
+    is a 1.56% capacity loss.
+    """
+    if reserved_per_bank <= 0 or reserved_per_bank > rows_per_bank:
+        raise ValueError("invalid reserved_per_bank")
+    rows = [
+        bank * rows_per_bank + row
+        for bank in range(banks)
+        for row in range(rows_per_bank - reserved_per_bank, rows_per_bank)
+    ]
+    return ReservedRegion(rows)

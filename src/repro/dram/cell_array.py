@@ -1,0 +1,158 @@
+"""Cell-level DRAM content model.
+
+A :class:`CellArray` stores the logical (system-visible) content of every
+row that has ever been written, and can produce the *silicon-order* bit
+layout of a row by pushing the content through the chip's vendor mapping.
+Combined with a :class:`~repro.dram.faults.FaultMap` it answers the question
+at the centre of MEMCON: *given what is currently stored, which cells fail
+at a given refresh interval?*
+
+Rows never written are treated as holding all zeros (the post-power-up
+convention used by the paper's FPGA test infrastructure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .faults import FaultMap, VulnerableCell
+from .geometry import DramGeometry
+from .scramble import VendorMapping, make_vendor_mapping
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes into a bit array (LSB-first within each byte)."""
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`."""
+    if len(bits) % 8:
+        raise ValueError("bit array length must be a multiple of 8")
+    return np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+
+
+class CellArray:
+    """System-visible DRAM content plus the hidden silicon layout.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the module.
+    fault_map:
+        Vulnerable-cell population. Built automatically when omitted.
+    vendor_mapping:
+        Scramble+remap path. Built automatically (seeded) when omitted.
+    seed:
+        Chip seed used for any auto-built components.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        fault_map: Optional[FaultMap] = None,
+        vendor_mapping: Optional[VendorMapping] = None,
+        seed: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.seed = seed
+        if vendor_mapping is None:
+            spares = max(8, geometry.bits_per_row // 256)
+            vendor_mapping = make_vendor_mapping(
+                columns=geometry.bits_per_row,
+                seed=seed,
+                spare_columns=spares,
+                faulty_fraction=0.002,
+            )
+        self.vendor_mapping = vendor_mapping
+        if fault_map is None:
+            fault_map = FaultMap(
+                total_rows=geometry.total_rows,
+                bits_per_row=vendor_mapping.physical_columns,
+                seed=seed,
+            )
+        self.fault_map = fault_map
+        self._rows: Dict[int, np.ndarray] = {}
+        self._zero_row = np.zeros(geometry.bits_per_row, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Content access (system order)
+    # ------------------------------------------------------------------
+    def write_row_bits(self, row_index: int, bits: np.ndarray) -> None:
+        """Replace the full content of a row (system bit order)."""
+        self._check_row(row_index)
+        if len(bits) != self.geometry.bits_per_row:
+            raise ValueError("bit array does not match row width")
+        self._rows[row_index] = bits.astype(np.uint8, copy=True)
+
+    def write_row_bytes(self, row_index: int, data: bytes) -> None:
+        """Replace the full content of a row from raw bytes."""
+        if len(data) != self.geometry.row_size_bytes:
+            raise ValueError("data does not match row size")
+        self.write_row_bits(row_index, bytes_to_bits(data))
+
+    def write_block(self, row_index: int, block: int, data: bytes) -> None:
+        """Write one cache block within a row."""
+        self._check_row(row_index)
+        block_bytes = self.geometry.block_size_bytes
+        if not 0 <= block < self.geometry.blocks_per_row:
+            raise ValueError(f"block {block} out of range")
+        if len(data) != block_bytes:
+            raise ValueError("data does not match block size")
+        bits = self._rows.get(row_index)
+        if bits is None:
+            bits = self._zero_row.copy()
+            self._rows[row_index] = bits
+        start = block * block_bytes * 8
+        bits[start: start + block_bytes * 8] = bytes_to_bits(data)
+
+    def read_row_bits(self, row_index: int) -> np.ndarray:
+        """Current content of a row in system bit order (copy)."""
+        self._check_row(row_index)
+        return self._rows.get(row_index, self._zero_row).copy()
+
+    def read_row_bytes(self, row_index: int) -> bytes:
+        return bits_to_bytes(self.read_row_bits(row_index))
+
+    def written_rows(self) -> List[int]:
+        """Flat indices of rows that hold explicit (non-default) content."""
+        return sorted(self._rows)
+
+    # ------------------------------------------------------------------
+    # Silicon view and failure evaluation
+    # ------------------------------------------------------------------
+    def silicon_row(self, row_index: int) -> np.ndarray:
+        """Row content in physical (scrambled + remapped) order."""
+        return self.vendor_mapping.to_silicon(self.read_row_bits(row_index))
+
+    def failing_cells(
+        self, row_index: int, refresh_interval_ms: float
+    ) -> List[VulnerableCell]:
+        """Vulnerable cells that fail with the *current* content."""
+        return self.fault_map.failing_cells(
+            row_index, self.silicon_row(row_index), refresh_interval_ms
+        )
+
+    def row_fails(self, row_index: int, refresh_interval_ms: float) -> bool:
+        """Does the row lose at least one bit at this refresh interval?"""
+        return bool(self.failing_cells(row_index, refresh_interval_ms))
+
+    def decay_row(self, row_index: int, refresh_interval_ms: float) -> np.ndarray:
+        """Content after an idle retention window, in system bit order.
+
+        Flips every failing cell's stored value and maps the silicon layout
+        back to system order — what a read-back after the idle period sees.
+        """
+        physical = self.vendor_mapping.to_silicon(self.read_row_bits(row_index))
+        for cell in self.fault_map.failing_cells(
+            row_index, physical, refresh_interval_ms
+        ):
+            physical[cell.physical_column] ^= 1
+        return self.vendor_mapping.from_silicon(physical)
+
+    def _check_row(self, row_index: int) -> None:
+        if not 0 <= row_index < self.geometry.total_rows:
+            raise ValueError(f"row index {row_index} out of range")

@@ -1,0 +1,233 @@
+"""Data-dependent DRAM failure model.
+
+Physical mechanism (paper §2): parasitic capacitance between adjacent
+bitlines couples a cell to its physical left/right neighbours. Whether a
+cell flips during a retention window depends on
+
+* the cell's own weakness (per-cell retention threshold, sampled once per
+  chip from a heavy-tailed distribution),
+* the stored charge level, which decays with time since the last refresh —
+  so failures grow (exponentially, per the paper) with the refresh interval,
+* whether the cell is a *true-cell* (stores logic 1 as charge) or an
+  *anti-cell* (stores logic 0 as charge) — only a charged cell can leak to
+  the wrong value, so the failing *value* depends on cell polarity, and
+* the neighbour content: a neighbour holding the opposite bitline voltage
+  is an *aggressor* and adds coupling noise.
+
+The model is deterministic given (chip seed, content, refresh interval):
+a cell fails iff ``stress(content, interval) >= threshold(cell)``. That
+determinism mirrors the repeatable, content-conditional failures the paper
+measures (Figure 3), and makes the whole library unit-testable.
+
+All neighbour relations are computed in *physical* column order (after
+vendor scrambling and column remapping), which is precisely why the system
+cannot enumerate these failures without knowing DRAM internals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultModelConfig:
+    """Tunables for the data-dependent failure population.
+
+    The defaults are calibrated so that on the paper's test conditions
+    (retention interval equivalent to 328 ms at 85C) roughly 13.5% of 8 KB
+    rows contain at least one cell that can fail under *some* content
+    (ALL-FAIL in Figure 4), while typical program content triggers a few
+    tenths of a percent to a few percent of rows.
+    """
+
+    #: Probability that a cell is data-dependent vulnerable at all.
+    vulnerable_cell_rate: float = 4.4e-6
+    #: Fraction of rows using true-cell polarity (the rest are anti-cells).
+    #: Real chips mix both per subarray; we assign per physical row.
+    true_cell_row_fraction: float = 0.5
+    #: Stress from a single aggressor neighbour, as a fraction of the
+    #: two-aggressor worst case (coupling saturates, so > 0.5).
+    single_aggressor_fraction: float = 0.85
+    #: Content-independent leakage stress (no aggressors). Kept far below
+    #: the threshold distribution: always-failing weak cells are excluded
+    #: from the data-dependent population, per the paper's footnote 1.
+    baseline_stress: float = 0.02
+    #: Retention interval at which a vulnerable cell with both neighbours
+    #: aggressing is right at its median failure point, in milliseconds.
+    nominal_interval_ms: float = 328.0
+    #: Exponential growth rate of stress with the retention interval.
+    interval_sensitivity: float = 1.35
+    #: Spread (sigma of the lognormal) of per-cell thresholds.
+    threshold_sigma: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vulnerable_cell_rate <= 1.0:
+            raise ValueError("vulnerable_cell_rate must be a probability")
+        if not 0.0 <= self.true_cell_row_fraction <= 1.0:
+            raise ValueError("true_cell_row_fraction must be a probability")
+        if not 0.0 < self.single_aggressor_fraction <= 1.0:
+            raise ValueError("single_aggressor_fraction must be in (0, 1]")
+        if self.baseline_stress < 0:
+            raise ValueError("baseline_stress must be non-negative")
+        if self.nominal_interval_ms <= 0:
+            raise ValueError("nominal_interval_ms must be positive")
+        if self.threshold_sigma < 0:
+            raise ValueError("threshold_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
+class VulnerableCell:
+    """One data-dependent vulnerable cell, in physical coordinates."""
+
+    row_index: int        # flat row index within the module
+    physical_column: int  # bit position in silicon order
+    threshold: float      # stress units; lower = weaker
+    true_cell: bool       # polarity: True -> charge encodes logic 1
+
+
+class FaultMap:
+    """The vulnerable-cell population of one DRAM module.
+
+    Generated lazily per row so that module-scale populations (hundreds of
+    thousands of rows) stay cheap: rows without vulnerable cells cost one
+    RNG draw.
+    """
+
+    def __init__(
+        self,
+        total_rows: int,
+        bits_per_row: int,
+        config: FaultModelConfig = FaultModelConfig(),
+        seed: int = 0,
+    ) -> None:
+        if total_rows <= 0 or bits_per_row <= 0:
+            raise ValueError("rows and bits_per_row must be positive")
+        self.total_rows = total_rows
+        self.bits_per_row = bits_per_row
+        self.config = config
+        self.seed = seed
+        self._rows: Dict[int, Tuple[VulnerableCell, ...]] = {}
+        self._row_polarity: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def _row_rng(self, row_index: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed << 24) ^ (row_index * 2654435761 % (1 << 48)))
+
+    def row_is_true_cell(self, row_index: int) -> bool:
+        """Polarity of a physical row (true-cell vs anti-cell)."""
+        self._check_row(row_index)
+        if row_index not in self._row_polarity:
+            rng = self._row_rng(row_index)
+            self._row_polarity[row_index] = bool(
+                rng.random() < self.config.true_cell_row_fraction
+            )
+        return self._row_polarity[row_index]
+
+    def cells_in_row(self, row_index: int) -> Tuple[VulnerableCell, ...]:
+        """The vulnerable cells of one row, generated deterministically."""
+        self._check_row(row_index)
+        if row_index not in self._rows:
+            self._rows[row_index] = self._generate_row(row_index)
+        return self._rows[row_index]
+
+    def _generate_row(self, row_index: int) -> Tuple[VulnerableCell, ...]:
+        cfg = self.config
+        rng = self._row_rng(row_index)
+        true_cell = self.row_is_true_cell(row_index)
+        # Skip the per-row polarity draw so cell draws stay aligned.
+        n_vulnerable = rng.binomial(self.bits_per_row, cfg.vulnerable_cell_rate)
+        if n_vulnerable == 0:
+            return ()
+        columns = rng.choice(self.bits_per_row, size=n_vulnerable, replace=False)
+        thresholds = np.exp(rng.normal(0.0, cfg.threshold_sigma, size=n_vulnerable))
+        cells = tuple(
+            VulnerableCell(
+                row_index=row_index,
+                physical_column=int(col),
+                threshold=float(thr),
+                true_cell=true_cell,
+            )
+            for col, thr in zip(np.sort(columns), thresholds[np.argsort(columns)])
+        )
+        return cells
+
+    def _check_row(self, row_index: int) -> None:
+        if not 0 <= row_index < self.total_rows:
+            raise ValueError(f"row index {row_index} out of range")
+
+    # ------------------------------------------------------------------
+    def stress(self, aggressors: int, refresh_interval_ms: float) -> float:
+        """Coupling stress on a vulnerable cell with ``aggressors`` in {0,1,2}.
+
+        Stress grows exponentially with the retention interval, normalised
+        so that (2 aggressors, nominal interval) == 1.0 stress units.
+        """
+        if aggressors not in (0, 1, 2):
+            raise ValueError("aggressors must be 0, 1, or 2")
+        cfg = self.config
+        interval_factor = math.exp(
+            cfg.interval_sensitivity
+            * math.log(max(refresh_interval_ms, 1e-9) / cfg.nominal_interval_ms)
+        )
+        coupling = (0.0, cfg.single_aggressor_fraction, 1.0)[aggressors]
+        return (cfg.baseline_stress + coupling) * interval_factor
+
+    def cell_fails(
+        self,
+        cell: VulnerableCell,
+        physical_row_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> bool:
+        """Whether one vulnerable cell flips, given silicon-order content.
+
+        Only a *charged* cell can lose data: a true-cell fails only while
+        storing 1, an anti-cell only while storing 0. A physical neighbour
+        is an aggressor when it holds the opposite stored value.
+        """
+        col = cell.physical_column
+        if col >= len(physical_row_bits):
+            return False  # cell sits past this row's physical width
+        value = int(physical_row_bits[col])
+        charged = value == 1 if cell.true_cell else value == 0
+        if not charged:
+            return False
+        aggressors = 0
+        if col > 0 and int(physical_row_bits[col - 1]) != value:
+            aggressors += 1
+        if col + 1 < len(physical_row_bits) and int(physical_row_bits[col + 1]) != value:
+            aggressors += 1
+        return self.stress(aggressors, refresh_interval_ms) >= cell.threshold
+
+    def failing_cells(
+        self,
+        row_index: int,
+        physical_row_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> List[VulnerableCell]:
+        """All vulnerable cells of a row that fail with this content."""
+        return [
+            cell
+            for cell in self.cells_in_row(row_index)
+            if self.cell_fails(cell, physical_row_bits, refresh_interval_ms)
+        ]
+
+    def row_can_ever_fail(self, row_index: int, refresh_interval_ms: float) -> bool:
+        """Worst-case (ALL-FAIL) check: does *any* content break this row?
+
+        The worst case for a vulnerable cell is being charged with both
+        neighbours aggressing, so a row can ever fail iff it holds a
+        vulnerable cell whose threshold is within worst-case stress.
+        """
+        worst = self.stress(2, refresh_interval_ms)
+        return any(c.threshold <= worst for c in self.cells_in_row(row_index))
+
+    def all_fail_rows(self, refresh_interval_ms: float) -> List[int]:
+        """Flat indices of every row that could fail under some content."""
+        return [
+            r for r in range(self.total_rows)
+            if self.row_can_ever_fail(r, refresh_interval_ms)
+        ]

@@ -1,0 +1,113 @@
+"""DRAM module geometry and the system-visible address codec.
+
+A module is organised as channel -> rank -> bank -> row -> column, matching
+the paper's Figure 1. The codec here maps flat *system* row/column addresses
+to coordinates; the *physical* cell layout inside a chip additionally goes
+through vendor scrambling and column remapping (see
+:mod:`repro.dram.scramble`), which the system cannot observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+
+class RowAddress(NamedTuple):
+    """System-visible coordinates of one DRAM row."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Shape of a DRAM module, with helpers to enumerate and index rows.
+
+    The defaults describe the paper's 2 GB evaluation module: one channel,
+    one rank of 8 chips, 8 banks, 32768 rows per bank, 8 KB rows.
+    """
+
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 8
+    rows_per_bank: int = 32768
+    row_size_bytes: int = 8192
+    block_size_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks", "banks", "rows_per_bank",
+                     "row_size_bytes", "block_size_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.row_size_bytes % self.block_size_bytes:
+            raise ValueError("row size must be a multiple of the block size")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_rows(self) -> int:
+        return self.channels * self.ranks * self.banks * self.rows_per_bank
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_size_bytes // self.block_size_bytes
+
+    @property
+    def bits_per_row(self) -> int:
+        return self.row_size_bytes * 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_rows * self.row_size_bytes
+
+    # ------------------------------------------------------------------
+    def row_index(self, addr: RowAddress) -> int:
+        """Flatten a row coordinate into a dense index in [0, total_rows)."""
+        self._check(addr)
+        index = addr.channel
+        index = index * self.ranks + addr.rank
+        index = index * self.banks + addr.bank
+        index = index * self.rows_per_bank + addr.row
+        return index
+
+    def row_address(self, index: int) -> RowAddress:
+        """Inverse of :meth:`row_index`."""
+        if not 0 <= index < self.total_rows:
+            raise ValueError(f"row index {index} out of range")
+        index, row = divmod(index, self.rows_per_bank)
+        index, bank = divmod(index, self.banks)
+        channel, rank = divmod(index, self.ranks)
+        return RowAddress(channel, rank, bank, row)
+
+    def iter_rows(self) -> Iterator[RowAddress]:
+        """Yield every row coordinate in flat-index order."""
+        for index in range(self.total_rows):
+            yield self.row_address(index)
+
+    def byte_to_row(self, byte_address: int) -> int:
+        """Map a flat byte address to its flat row index."""
+        if not 0 <= byte_address < self.capacity_bytes:
+            raise ValueError(f"byte address {byte_address:#x} out of range")
+        return byte_address // self.row_size_bytes
+
+    def _check(self, addr: RowAddress) -> None:
+        if not 0 <= addr.channel < self.channels:
+            raise ValueError(f"channel {addr.channel} out of range")
+        if not 0 <= addr.rank < self.ranks:
+            raise ValueError(f"rank {addr.rank} out of range")
+        if not 0 <= addr.bank < self.banks:
+            raise ValueError(f"bank {addr.bank} out of range")
+        if not 0 <= addr.row < self.rows_per_bank:
+            raise ValueError(f"row {addr.row} out of range")
+
+
+#: The 2 GB module used in the paper's FPGA experiments (Appendix).
+PAPER_MODULE = DramGeometry()
+
+#: A small geometry for unit tests and quick examples.
+TINY_MODULE = DramGeometry(
+    channels=1, ranks=1, banks=2, rows_per_bank=64,
+    row_size_bytes=512, block_size_bytes=64,
+)

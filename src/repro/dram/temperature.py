@@ -1,0 +1,92 @@
+"""Temperature scaling of DRAM retention.
+
+Charge leakage is thermally activated: retention time falls exponentially
+as temperature rises, roughly halving every ~10C (the well-known
+experimentally-validated model the paper cites when discussing
+temperature guardbands, §3). The paper's own methodology uses this
+scaling: its FPGA tests run a 4 s refresh interval at 45C, "which
+corresponds to a refresh interval of 328 ms at 85C".
+
+This module provides that conversion plus the guardband helper MEMCON
+needs to test at one temperature while guaranteeing operation at another.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The reference hot-operating temperature used in JEDEC extended range.
+REFERENCE_TEMPERATURE_C = 85.0
+
+
+@dataclass(frozen=True)
+class RetentionTemperatureModel:
+    """Exponential retention-vs-temperature model.
+
+    ``doubling_celsius`` is the temperature drop that doubles retention
+    time. The default (11.08C) is calibrated so that the paper's own
+    conversion holds exactly: 4000 ms at 45C == 328 ms at 85C, i.e.
+    doubling = 40 / log2(4000 / 328).
+    """
+
+    doubling_celsius: float = 40.0 / math.log2(4000.0 / 328.0)
+
+    def __post_init__(self) -> None:
+        if self.doubling_celsius <= 0:
+            raise ValueError("doubling_celsius must be positive")
+
+    # ------------------------------------------------------------------
+    def scale_interval(
+        self,
+        interval_ms: float,
+        from_celsius: float,
+        to_celsius: float,
+    ) -> float:
+        """Convert a retention interval between operating temperatures.
+
+        A window that is safe for ``interval_ms`` at ``from_celsius``
+        stresses cells identically to the returned interval at
+        ``to_celsius`` (hotter target -> shorter equivalent interval).
+        """
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        delta = from_celsius - to_celsius
+        return interval_ms * 2.0 ** (delta / self.doubling_celsius)
+
+    def equivalent_at_reference(
+        self, interval_ms: float, at_celsius: float
+    ) -> float:
+        """The 85C-equivalent of an interval tested at ``at_celsius``."""
+        return self.scale_interval(
+            interval_ms, at_celsius, REFERENCE_TEMPERATURE_C
+        )
+
+    # ------------------------------------------------------------------
+    def guardbanded_test_interval(
+        self,
+        target_interval_ms: float,
+        target_celsius: float,
+        test_celsius: float,
+        guardband: float = 2.0,
+    ) -> float:
+        """Test interval that guarantees the target with thermal margin.
+
+        MEMCON tests content at ``test_celsius``; the row must then be
+        safe at ``target_interval_ms`` when the chip heats to
+        ``target_celsius``. The returned test interval covers the target
+        plus a multiplicative ``guardband`` (the paper's recommended
+        protection against temperature variation).
+        """
+        if target_interval_ms <= 0:
+            raise ValueError("target_interval_ms must be positive")
+        if guardband < 1.0:
+            raise ValueError("guardband must be at least 1.0")
+        worst_case = self.scale_interval(
+            target_interval_ms * guardband, target_celsius, test_celsius
+        )
+        return worst_case
+
+
+#: Default model instance, calibrated to the paper's 45C/85C conversion.
+DEFAULT_TEMPERATURE_MODEL = RetentionTemperatureModel()

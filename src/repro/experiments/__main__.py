@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.experiments all``."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

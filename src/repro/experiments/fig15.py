@@ -1,0 +1,85 @@
+"""Figure 15: performance improvement from MEMCON's refresh reduction.
+
+The paper models its measured 60-75% refresh reduction inside a
+cycle-accurate simulator (with 256 concurrent tests of injected traffic)
+on 30 single-core and 4-core SPEC/TPC workloads, for 8/16/32 Gb chips.
+Reported improvement over the 16 ms baseline: 10%/17%/40% to 12%/22%/50%
+(single-core) and 10%/23%/52% to 17%/29%/65% (four-core).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim.metrics import geometric_mean, speedup
+from ..sim.system import simulate_workload
+from ..sim.workloads import multicore_mixes, singlecore_workloads
+from .common import ExperimentResult, percent
+
+DENSITIES_GBIT = (8, 16, 32)
+REDUCTIONS = (0.60, 0.75)
+CONCURRENT_TESTS = 256
+
+#: Paper-reported mean improvements, keyed by (cores, reduction, density).
+PAPER_IMPROVEMENT = {
+    (1, 0.60, 8): 0.10, (1, 0.60, 16): 0.17, (1, 0.60, 32): 0.40,
+    (1, 0.75, 8): 0.12, (1, 0.75, 16): 0.22, (1, 0.75, 32): 0.50,
+    (4, 0.60, 8): 0.10, (4, 0.60, 16): 0.23, (4, 0.60, 32): 0.52,
+    (4, 0.75, 8): 0.17, (4, 0.75, 16): 0.29, (4, 0.75, 32): 0.65,
+}
+
+
+def _mean_speedup(
+    workloads: Sequence[List[str]],
+    density: int,
+    reduction: float,
+    window_ns: float,
+    seed: int,
+) -> float:
+    speedups = []
+    for i, names in enumerate(workloads):
+        base = simulate_workload(
+            names, density_gbit=density, window_ns=window_ns, seed=seed + i,
+        )
+        memcon = simulate_workload(
+            names, density_gbit=density, refresh_reduction=reduction,
+            concurrent_tests=CONCURRENT_TESTS, window_ns=window_ns,
+            seed=seed + i,
+        )
+        speedups.append(speedup(memcon, base))
+    return geometric_mean(speedups)
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Mean speedup per core count, density, and reduction amount."""
+    n_workloads = 6 if quick else 30
+    window_ns = 100_000.0 if quick else 500_000.0
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="MEMCON performance improvement over the 16 ms baseline",
+        paper_claim=(
+            "1-core: +10/17/40% to +12/22/50%; 4-core: +10/23/52% to "
+            "+17/29/65% for 8/16/32 Gb (60% to 75% refresh reduction)"
+        ),
+    )
+    for cores, workloads in (
+        (1, singlecore_workloads(n_workloads, seed=seed)),
+        (4, multicore_mixes(n_workloads, seed=seed)),
+    ):
+        for density in DENSITIES_GBIT:
+            row: Dict[str, object] = {"cores": cores, "density": f"{density}Gb"}
+            for reduction in REDUCTIONS:
+                mean = _mean_speedup(
+                    workloads, density, reduction, window_ns, seed,
+                )
+                row[f"speedup_{int(reduction * 100)}pct"] = mean
+                row[f"paper_{int(reduction * 100)}pct"] = (
+                    1.0 + PAPER_IMPROVEMENT[(cores, reduction, density)]
+                )
+            result.add_row(**row)
+    result.notes = (
+        f"{n_workloads} workloads per configuration, {window_ns / 1e3:.0f} us "
+        f"windows, {CONCURRENT_TESTS} concurrent tests injected; speedups "
+        "are geometric means of weighted speedup over the 16 ms baseline"
+    )
+    return result

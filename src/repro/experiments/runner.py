@@ -1,0 +1,92 @@
+"""Run any or all paper experiments and print their tables.
+
+Usage::
+
+    python -m repro.experiments all          # every figure/table, quick
+    python -m repro.experiments fig14 fig17  # a subset
+    python -m repro.experiments all --full   # paper-scale settings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import (
+    fig03, fig04, fig06, fig07, fig08, fig09, fig11, fig12,
+    fig14, fig15, fig16, fig17, fig18, fig19, table3,
+)
+from .common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "fig19": fig19.run,
+    "table3": table3.run,
+}
+
+
+def run_experiments(
+    names: List[str], quick: bool = True, seed: int = 1
+) -> List[ExperimentResult]:
+    """Run the named experiments (or all of them) and return results."""
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}"
+        )
+    return [EXPERIMENTS[name](quick=quick, seed=seed) for name in names]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the MEMCON paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids (fig03 ... table3) or 'all'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale settings (slower) instead of quick mode",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also append each result table to FILE (markdown code blocks)",
+    )
+    args = parser.parse_args(argv)
+
+    for name in (
+        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    ):
+        started = time.time()
+        result = run_experiments([name], quick=not args.full, seed=args.seed)[0]
+        text = result.to_text()
+        print(text)
+        print(f"[{name} finished in {time.time() - started:.1f}s]")
+        print()
+        if args.out:
+            with open(args.out, "a") as handle:
+                handle.write(f"```\n{text}\n```\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""The cycle-level memory controller.
+
+Ties together the FR-FCFS scheduler, per-bank row-buffer timing, the
+rank-wide data bus, and the refresh scheduler. Refresh is the lever the
+whole paper turns on: auto-refresh commands block the rank for ``tRFC``
+every effective ``tREFI``, and refresh-reduction mechanisms (MEMCON,
+RAIDR, slower baselines) stretch the effective ``tREFI`` in proportion to
+the refresh operations they eliminate — exactly how the paper models the
+mechanisms inside its simulator (§6.2).
+
+MEMCON's testing traffic is injected as background requests: each
+concurrent test contributes two full-row reads (Read&Compare) spread over
+the test window (Table 3's overhead study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dram.timing import DDR3_1600, TimingParameters
+from .bank import BankState, RankState, issue_refresh, service_request
+from .request import Request, RequestKind
+from .scheduler import FrFcfsScheduler, SchedulerConfig
+
+
+@dataclass
+class RefreshSettings:
+    """Refresh behaviour of the controller.
+
+    ``base_interval_ms`` is the per-row retention target of the baseline
+    policy; ``reduction`` removes that fraction of refresh commands (0.0
+    for the baseline, up to 0.75 for ideal 64 ms operation when the
+    baseline is 16 ms).
+    """
+
+    base_interval_ms: float = 16.0
+    reduction: float = 0.0
+    rows_per_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.base_interval_ms <= 0:
+            raise ValueError("base_interval_ms must be positive")
+        if not 0.0 <= self.reduction < 1.0:
+            raise ValueError("reduction must be in [0, 1)")
+        if self.rows_per_window <= 0:
+            raise ValueError("rows_per_window must be positive")
+
+    @property
+    def effective_trefi_ns(self) -> float:
+        """Spacing of refresh commands after the reduction is applied."""
+        base = self.base_interval_ms * 1e6 / self.rows_per_window
+        return base / (1.0 - self.reduction)
+
+
+@dataclass
+class TestTrafficSettings:
+    """MEMCON background test traffic (Table 3).
+
+    ``concurrent_tests`` tests run per ``window_ms``; each test issues
+    ``requests_per_test`` full-row block reads, spread uniformly.
+    """
+
+    __test__ = False  # "Test" prefix is domain vocabulary, not a pytest class
+
+    concurrent_tests: int = 0
+    window_ms: float = 64.0
+    requests_per_test: int = 256  # 2 row reads x 128 blocks
+
+    def __post_init__(self) -> None:
+        if self.concurrent_tests < 0:
+            raise ValueError("concurrent_tests must be non-negative")
+        if self.window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        if self.requests_per_test <= 0:
+            raise ValueError("requests_per_test must be positive")
+
+    @property
+    def request_interval_ns(self) -> Optional[float]:
+        """Spacing between injected test requests (None when disabled)."""
+        total = self.concurrent_tests * self.requests_per_test
+        if total == 0:
+            return None
+        return self.window_ms * 1e6 / total
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate controller statistics for one run."""
+
+    reads_served: int = 0
+    writes_served: int = 0
+    test_requests_served: int = 0
+    total_read_latency_ns: float = 0.0
+    refreshes_issued: int = 0
+    refresh_busy_ns: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    @property
+    def mean_read_latency_ns(self) -> float:
+        if self.reads_served == 0:
+            return 0.0
+        return self.total_read_latency_ns / self.reads_served
+
+
+class MemoryController:
+    """One channel / one rank / N banks with FR-FCFS and auto-refresh."""
+
+    def __init__(
+        self,
+        timing: TimingParameters = DDR3_1600,
+        banks: int = 8,
+        rows_per_bank: int = 32768,
+        refresh: Optional[RefreshSettings] = None,
+        test_traffic: Optional[TestTrafficSettings] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
+        on_read_complete: Optional[Callable[[Request], None]] = None,
+        row_refresh: Optional["RowRefreshScheduler"] = None,
+        seed: int = 0,
+    ) -> None:
+        if banks <= 0 or rows_per_bank <= 0:
+            raise ValueError("banks and rows_per_bank must be positive")
+        self.timing = timing
+        self.banks = [BankState() for _ in range(banks)]
+        self.rows_per_bank = rows_per_bank
+        self.rank = RankState()
+        self.refresh = refresh or RefreshSettings()
+        self.test_traffic = test_traffic or TestTrafficSettings()
+        self.scheduler = FrFcfsScheduler(scheduler_config)
+        self.on_read_complete = on_read_complete
+        # Row-granularity refresh replaces all-bank REF when supplied.
+        self.row_refresh = row_refresh
+        self._rng = np.random.default_rng(seed)
+        self._next_refresh_ns = (
+            float("inf") if row_refresh is not None
+            else self.refresh.effective_trefi_ns
+        )
+        interval = self.test_traffic.request_interval_ns
+        self._next_test_ns = interval if interval is not None else None
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> bool:
+        """Accept a request into the appropriate queue."""
+        return self.scheduler.enqueue(request)
+
+    @property
+    def pending(self) -> int:
+        return self.scheduler.pending
+
+    def next_event_ns(self, now_ns: float) -> float:
+        """Earliest time the controller has something to do after ``now``."""
+        floor = max(now_ns, self.rank.refresh_until_ns)
+        candidates = [max(self._next_refresh_ns, now_ns)]
+        if self.row_refresh is not None:
+            candidates.append(max(self.row_refresh.next_due_ns, now_ns))
+        if self._next_test_ns is not None:
+            candidates.append(max(self._next_test_ns, now_ns))
+        earliest = self.scheduler.earliest_issue_ns(self.banks, floor)
+        if earliest is not None:
+            candidates.append(earliest)
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    def tick(self, now_ns: float) -> float:
+        """Process work available at ``now_ns``; return next event time.
+
+        One call issues at most one refresh, one injected test request and
+        one scheduled request; callers loop on the returned event time.
+        """
+        # 1. Refresh has priority: it is a hard JEDEC deadline. It acts as
+        # a barrier — no request command may issue while it is pending.
+        if now_ns >= self._next_refresh_ns:
+            issue_refresh(self.rank, self.banks,
+                          max(self._next_refresh_ns, now_ns), self.timing)
+            self._next_refresh_ns += self.refresh.effective_trefi_ns
+        if self.row_refresh is not None:
+            self.row_refresh.tick(now_ns, self.banks)
+        # 2. Inject background test traffic on its schedule.
+        if self._next_test_ns is not None and now_ns >= self._next_test_ns:
+            bank = int(self._rng.integers(len(self.banks)))
+            row = int(self._rng.integers(self.rows_per_bank))
+            self.scheduler.enqueue(Request(
+                kind=RequestKind.TEST, core=-1, bank=bank, row=row,
+                arrival_ns=self._next_test_ns,
+            ))
+            self._next_test_ns += self.test_traffic.request_interval_ns
+        # 3. Issue one request if one is eligible right now (banks free,
+        # no refresh in progress).
+        if now_ns >= self.rank.refresh_until_ns:
+            request = self.scheduler.next_request(self.banks, now_ns)
+            if request is not None:
+                done = service_request(
+                    self.banks[request.bank], self.rank, request.row,
+                    now_ns, self.timing,
+                )
+                request.completion_ns = done
+                self._account(request)
+        return self.next_event_ns(now_ns + self.timing.tCK)
+
+    def _account(self, request: Request) -> None:
+        if request.kind is RequestKind.READ:
+            if self.on_read_complete is not None:
+                self.on_read_complete(request)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ControllerStats:
+        refreshes = self.rank.refreshes_issued
+        busy_ns = self.rank.refresh_busy_ns
+        if self.row_refresh is not None:
+            refreshes += self.row_refresh.commands_issued
+            busy_ns += self.row_refresh.busy_ns
+        stats = ControllerStats(
+            refreshes_issued=refreshes,
+            refresh_busy_ns=busy_ns,
+        )
+        for bank in self.banks:
+            stats.row_hits += bank.row_hits
+            stats.row_misses += bank.row_misses
+            stats.row_conflicts += bank.row_conflicts
+        return stats

@@ -1,0 +1,53 @@
+"""Memory request records for the cycle-level simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class RequestKind(Enum):
+    """What a DRAM request is for."""
+
+    READ = "read"
+    WRITE = "write"
+    TEST = "test"     # background traffic injected by MEMCON testing
+
+
+@dataclass
+class Request:
+    """One DRAM request flowing through the memory controller.
+
+    Times are in nanoseconds of simulated time. ``completion_ns`` is set by
+    the controller when the data transfer finishes.
+    """
+
+    kind: RequestKind
+    core: int            # issuing core, or -1 for background test traffic
+    bank: int
+    row: int
+    arrival_ns: float
+    channel: int = 0
+    completion_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.channel < 0:
+            raise ValueError("channel must be non-negative")
+        if self.bank < 0:
+            raise ValueError("bank must be non-negative")
+        if self.row < 0:
+            raise ValueError("row must be non-negative")
+        if self.arrival_ns < 0:
+            raise ValueError("arrival_ns must be non-negative")
+
+    @property
+    def is_demand(self) -> bool:
+        """Demand traffic (reads the core waits on)."""
+        return self.kind is RequestKind.READ
+
+    @property
+    def latency_ns(self) -> float:
+        if self.completion_ns is None:
+            raise ValueError("request not completed yet")
+        return self.completion_ns - self.arrival_ns

@@ -1,0 +1,131 @@
+"""FR-FCFS request scheduling.
+
+First-Ready, First-Come-First-Served: among queued requests whose bank can
+accept a command, prefer row-buffer hits (they finish fastest and keep the
+bus busy), then the oldest request. Demand reads outrank posted writes and
+background test traffic; writes are drained when the write queue crosses a
+high-water mark, the standard write-drain policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .bank import BankState
+from .request import Request, RequestKind
+
+
+@dataclass
+class SchedulerConfig:
+    """Queueing policy knobs."""
+
+    write_queue_drain_threshold: int = 16
+    read_queue_capacity: int = 64
+    write_queue_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.write_queue_drain_threshold <= 0:
+            raise ValueError("drain threshold must be positive")
+        if self.read_queue_capacity <= 0 or self.write_queue_capacity <= 0:
+            raise ValueError("queue capacities must be positive")
+
+
+class FrFcfsScheduler:
+    """Priority queues plus the FR-FCFS pick rule."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig()
+        self.read_queue: List[Request] = []
+        self.write_queue: List[Request] = []
+        self.test_queue: List[Request] = []
+        self._draining_writes = False
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> bool:
+        """Add a request; returns False when the target queue is full."""
+        if request.kind is RequestKind.READ:
+            if len(self.read_queue) >= self.config.read_queue_capacity:
+                return False
+            self.read_queue.append(request)
+        elif request.kind is RequestKind.WRITE:
+            if len(self.write_queue) >= self.config.write_queue_capacity:
+                return False
+            self.write_queue.append(request)
+        else:
+            self.test_queue.append(request)
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self.read_queue) + len(self.write_queue) + len(self.test_queue)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _eligible(
+        request: Request, banks: Sequence[BankState], now_ns: float
+    ) -> bool:
+        """A request may issue only when its bank can take a command now."""
+        return (
+            request.arrival_ns <= now_ns
+            and banks[request.bank].ready_ns <= now_ns
+        )
+
+    def _pick_fr_fcfs(
+        self, queue: List[Request], banks: Sequence[BankState], now_ns: float
+    ) -> Optional[Request]:
+        eligible = [r for r in queue if self._eligible(r, banks, now_ns)]
+        if not eligible:
+            return None
+        hit = next(
+            (r for r in eligible if banks[r.bank].open_row == r.row), None
+        )
+        return hit if hit is not None else eligible[0]
+
+    def next_request(
+        self, banks: Sequence[BankState], now_ns: float
+    ) -> Optional[Request]:
+        """Pick (and remove) the next request issuable at ``now_ns``.
+
+        Reads first; writes only when draining (high-water mark) or when
+        no reads are pending; test traffic strictly last.
+        """
+        cfg = self.config
+        if len(self.write_queue) >= cfg.write_queue_drain_threshold:
+            self._draining_writes = True
+        if not self.write_queue:
+            self._draining_writes = False
+
+        if self._draining_writes and self.write_queue:
+            choice = self._pick_fr_fcfs(self.write_queue, banks, now_ns)
+            if choice is not None:
+                self.write_queue.remove(choice)
+                if len(self.write_queue) <= cfg.write_queue_drain_threshold // 2:
+                    self._draining_writes = False
+                return choice
+        choice = self._pick_fr_fcfs(self.read_queue, banks, now_ns)
+        if choice is not None:
+            self.read_queue.remove(choice)
+            return choice
+        choice = self._pick_fr_fcfs(self.write_queue, banks, now_ns)
+        if choice is not None:
+            self.write_queue.remove(choice)
+            return choice
+        choice = self._pick_fr_fcfs(self.test_queue, banks, now_ns)
+        if choice is not None:
+            self.test_queue.remove(choice)
+            return choice
+        return None
+
+    def earliest_issue_ns(
+        self, banks: Sequence[BankState], floor_ns: float
+    ) -> Optional[float]:
+        """Earliest future time any queued request becomes eligible."""
+        best: Optional[float] = None
+        for queue in (self.read_queue, self.write_queue, self.test_queue):
+            for request in queue:
+                t = max(request.arrival_ns, banks[request.bank].ready_ns,
+                        floor_ns)
+                if best is None or t < best:
+                    best = t
+        return best

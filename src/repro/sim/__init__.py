@@ -1,0 +1,37 @@
+"""System simulator: trace cores, full system, workload mixes, metrics."""
+
+from .core import CoreConfig, TraceCore
+from .energy import (
+    EnergyBreakdown,
+    EnergyParameters,
+    energy_of_run,
+    refresh_energy_savings,
+)
+from .metrics import geometric_mean, harmonic_mean, speedup
+from .system import (
+    CoreResult,
+    SystemConfig,
+    SystemResult,
+    SystemSimulator,
+    simulate_workload,
+)
+from .workloads import multicore_mixes, singlecore_workloads
+
+__all__ = [
+    "CoreConfig",
+    "CoreResult",
+    "EnergyBreakdown",
+    "EnergyParameters",
+    "energy_of_run",
+    "refresh_energy_savings",
+    "SystemConfig",
+    "SystemResult",
+    "SystemSimulator",
+    "TraceCore",
+    "geometric_mean",
+    "harmonic_mean",
+    "multicore_mixes",
+    "simulate_workload",
+    "singlecore_workloads",
+    "speedup",
+]

@@ -1,0 +1,40 @@
+"""Performance metrics for simulator results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .system import SystemResult
+
+
+def speedup(result: SystemResult, baseline: SystemResult) -> float:
+    """System speedup: weighted speedup ratio against a baseline run.
+
+    For a single core this is the plain IPC ratio; for multiprogrammed
+    mixes it is the normalised weighted speedup, the metric the paper's
+    multi-core figures report.
+    """
+    if len(result.cores) != len(baseline.cores):
+        raise ValueError("core counts differ")
+    return result.weighted_speedup_vs(baseline) / len(result.cores)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional aggregate for speedups."""
+    if not values:
+        raise ValueError("values must not be empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("values must be positive")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (used for fairness-weighted aggregates)."""
+    if not values:
+        raise ValueError("values must not be empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("values must be positive")
+    return len(values) / sum(1.0 / v for v in values)

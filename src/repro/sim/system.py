@@ -1,0 +1,266 @@
+"""Full-system performance simulation (paper §6.2, Table 2 configuration).
+
+Glues N trace-driven cores to one memory controller and runs the whole
+thing event-to-event. The refresh policy under evaluation is expressed as
+a :class:`~repro.mc.controller.RefreshSettings` (baseline interval plus
+the refresh-operation reduction the mechanism achieves) and, for MEMCON,
+a :class:`~repro.mc.controller.TestTrafficSettings` describing the
+injected testing requests — the same modelling methodology the paper uses
+for its Figure 15/16 and Table 3 studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dram.timing import DDR3_1600, TimingParameters, trfc_for_density_ns
+from ..mc.controller import (
+    MemoryController,
+    RefreshSettings,
+    TestTrafficSettings,
+)
+from ..mc.request import Request, RequestKind
+from ..mc.rowrefresh import RowRefreshScheduler, RowRefreshSettings
+from ..traces.spec import BenchmarkProfile, get_benchmark
+from .core import CoreConfig, TraceCore
+
+
+@dataclass
+class SystemConfig:
+    """The paper's Table 2 system, parameterised by chip density.
+
+    ``channels`` extends the paper's single-channel DIMM: each channel is
+    an independent controller + rank, and request streams interleave
+    across channels on row-locality breaks.
+    """
+
+    banks: int = 8
+    rows_per_bank: int = 32768
+    density_gbit: int = 8
+    channels: int = 1
+    core: CoreConfig = field(default_factory=CoreConfig)
+    refresh: RefreshSettings = field(default_factory=RefreshSettings)
+    test_traffic: TestTrafficSettings = field(default_factory=TestTrafficSettings)
+    #: Row-granularity refresh population; replaces all-bank REF when set.
+    row_refresh: Optional[RowRefreshSettings] = None
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+
+    def timing(self) -> TimingParameters:
+        return DDR3_1600.with_density(self.density_gbit)
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of one simulation."""
+
+    benchmark: str
+    instructions: float
+    ipc: float
+    reads_completed: int
+    mean_read_latency_ns: float
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one simulation run."""
+
+    window_ns: float
+    cores: List[CoreResult]
+    refreshes_issued: int
+    refresh_busy_fraction: float
+    row_hit_rate: float
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def mean_ipc(self) -> float:
+        return sum(core.ipc for core in self.cores) / len(self.cores)
+
+    def weighted_speedup_vs(self, baseline: "SystemResult") -> float:
+        """Sum of per-core IPC ratios against a baseline run."""
+        if len(self.cores) != len(baseline.cores):
+            raise ValueError("core counts differ")
+        return sum(
+            mine.ipc / ref.ipc
+            for mine, ref in zip(self.cores, baseline.cores)
+            if ref.ipc > 0
+        )
+
+
+class SystemSimulator:
+    """Event-driven simulation of cores + memory controller."""
+
+    def __init__(
+        self,
+        benchmarks: Sequence[BenchmarkProfile],
+        config: Optional[SystemConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not benchmarks:
+            raise ValueError("need at least one benchmark")
+        self.config = config or SystemConfig()
+        timing = self.config.timing()
+        self._reads_done: Dict[int, List[Request]] = {
+            i: [] for i in range(len(benchmarks))
+        }
+        # Test traffic is spread evenly across channels.
+        per_channel_tests = TestTrafficSettings(
+            concurrent_tests=(
+                self.config.test_traffic.concurrent_tests
+                // self.config.channels
+            ),
+            window_ms=self.config.test_traffic.window_ms,
+            requests_per_test=self.config.test_traffic.requests_per_test,
+        )
+        self.controllers = [
+            MemoryController(
+                timing=timing,
+                banks=self.config.banks,
+                rows_per_bank=self.config.rows_per_bank,
+                refresh=self.config.refresh,
+                test_traffic=per_channel_tests,
+                on_read_complete=self._read_done,
+                row_refresh=(
+                    RowRefreshScheduler(
+                        self.config.row_refresh, timing, self.config.banks
+                    )
+                    if self.config.row_refresh is not None else None
+                ),
+                seed=seed + 1009 * channel,
+            )
+            for channel in range(self.config.channels)
+        ]
+        self.cores = [
+            TraceCore(
+                core_id=i,
+                benchmark=bench,
+                config=self.config.core,
+                banks=self.config.banks,
+                rows_per_bank=self.config.rows_per_bank,
+                channels=self.config.channels,
+                seed=seed + 101 * i,
+            )
+            for i, bench in enumerate(benchmarks)
+        ]
+        self._completed_reads: List[Request] = []
+
+    @property
+    def controller(self) -> MemoryController:
+        """The first channel's controller (single-channel convenience)."""
+        return self.controllers[0]
+
+    def _read_done(self, request: Request) -> None:
+        self._completed_reads.append(request)
+
+    # ------------------------------------------------------------------
+    def run(self, window_ns: float) -> SystemResult:
+        """Simulate ``window_ns`` of wall-clock time and report results."""
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        now = 0.0
+        guard = 0
+        max_iterations = int(window_ns * 50)  # safety net, never binding
+        holdback: List[Request] = []  # requests refused by a full queue
+        tck = self.controllers[0].timing.tCK
+        while now < window_ns:
+            guard += 1
+            if guard > max_iterations:
+                raise RuntimeError("simulator failed to make progress")
+            # Retry requests that a full queue refused earlier.
+            holdback = [
+                r for r in holdback
+                if not self.controllers[r.channel].enqueue(r)
+            ]
+            # Pull any core requests that are due (with backpressure).
+            for core in self.cores:
+                while not holdback:
+                    request = core.next_request(now)
+                    if request is None:
+                        break
+                    if not self.controllers[request.channel].enqueue(request):
+                        holdback.append(request)
+            next_event = min(
+                controller.tick(now) for controller in self.controllers
+            )
+            # Deliver completed reads to their cores.
+            if self._completed_reads:
+                for request in self._completed_reads:
+                    self.cores[request.core].complete_read(
+                        request, request.completion_ns
+                    )
+                    self._reads_done[request.core].append(request)
+                self._completed_reads.clear()
+            # Advance: to the next controller event, bounded by the next
+            # core request arrival (cores generate work lazily).
+            arrivals = [
+                hint
+                for hint in (core.next_arrival_hint(now) for core in self.cores)
+                if hint is not None
+            ]
+            step_to = min([next_event] + arrivals) if arrivals else next_event
+            now = max(now + tck, step_to)
+
+        stats = self.controllers[0].stats()
+        for controller in self.controllers[1:]:
+            other = controller.stats()
+            stats.row_hits += other.row_hits
+            stats.row_misses += other.row_misses
+            stats.row_conflicts += other.row_conflicts
+        core_results = []
+        for core in self.cores:
+            reads = self._reads_done[core.core_id]
+            mean_latency = (
+                sum(r.latency_ns for r in reads) / len(reads) if reads else 0.0
+            )
+            core_results.append(
+                CoreResult(
+                    benchmark=core.benchmark.name,
+                    instructions=core.instructions_retired,
+                    ipc=core.ipc(window_ns),
+                    reads_completed=len(reads),
+                    mean_read_latency_ns=mean_latency,
+                )
+            )
+        accesses = stats.row_hits + stats.row_misses + stats.row_conflicts
+        return SystemResult(
+            window_ns=window_ns,
+            cores=core_results,
+            refreshes_issued=sum(
+                c.stats().refreshes_issued for c in self.controllers
+            ),
+            refresh_busy_fraction=(
+                sum(c.stats().refresh_busy_ns for c in self.controllers)
+                / (window_ns * len(self.controllers))
+            ),
+            row_hit_rate=stats.row_hits / accesses if accesses else 0.0,
+        )
+
+
+def simulate_workload(
+    benchmark_names: Sequence[str],
+    density_gbit: int = 8,
+    refresh_interval_ms: float = 16.0,
+    refresh_reduction: float = 0.0,
+    concurrent_tests: int = 0,
+    window_ns: float = 500_000.0,
+    channels: int = 1,
+    seed: int = 0,
+) -> SystemResult:
+    """Convenience wrapper: one run of a named multiprogrammed workload."""
+    config = SystemConfig(
+        density_gbit=density_gbit,
+        channels=channels,
+        refresh=RefreshSettings(
+            base_interval_ms=refresh_interval_ms,
+            reduction=refresh_reduction,
+        ),
+        test_traffic=TestTrafficSettings(concurrent_tests=concurrent_tests),
+    )
+    benchmarks = [get_benchmark(name) for name in benchmark_names]
+    return SystemSimulator(benchmarks, config, seed=seed).run(window_ns)

@@ -1,0 +1,118 @@
+"""HMTT-style memory-bus tracer.
+
+The paper's second FPGA infrastructure intercepts the memory bus and logs
+(command, address, timestamp) for every DRAM request. Here the tracer sits
+between a request source and the recorded trace: callers report bus events
+to :meth:`BusTracer.record`, and :meth:`BusTracer.finish` assembles the
+per-page write trace that the analysis and MEMCON layers consume. A
+convenience driver replays a workload profile through the tracer, which is
+how the library's canned traces are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..traces.events import WriteTrace
+from ..traces.generator import generate_trace
+from ..traces.workloads import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One intercepted memory-bus transaction."""
+
+    time_ms: float
+    page: int
+    is_write: bool
+
+
+class BusTracer:
+    """Accumulates bus events into a per-page write trace.
+
+    Mirrors the capture discipline of the paper's tracer: events arriving
+    before ``warmup_ms`` are discarded (the paper skips each application's
+    initialisation phase), and the capture stops after ``duration_ms``.
+    """
+
+    def __init__(
+        self,
+        total_pages: int,
+        duration_ms: float,
+        warmup_ms: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if total_pages <= 0:
+            raise ValueError("total_pages must be positive")
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if warmup_ms < 0:
+            raise ValueError("warmup_ms must be non-negative")
+        self.total_pages = total_pages
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.name = name
+        self._writes: Dict[int, List[float]] = {}
+        self._n_events = 0
+        self._n_dropped = 0
+
+    @property
+    def events_recorded(self) -> int:
+        return self._n_events
+
+    @property
+    def events_dropped(self) -> int:
+        """Events outside the capture window (warmup or post-capture)."""
+        return self._n_dropped
+
+    def record(self, event: BusEvent) -> None:
+        """Observe one bus transaction. Reads are counted but not stored."""
+        capture_time = event.time_ms - self.warmup_ms
+        if capture_time < 0 or capture_time >= self.duration_ms:
+            self._n_dropped += 1
+            return
+        self._n_events += 1
+        if not event.is_write:
+            return
+        if not 0 <= event.page < self.total_pages:
+            raise ValueError(f"page {event.page} out of range")
+        self._writes.setdefault(event.page, []).append(capture_time)
+
+    def finish(self) -> WriteTrace:
+        """Assemble the captured write trace."""
+        writes = {
+            page: np.asarray(sorted(times), dtype=np.float64)
+            for page, times in self._writes.items()
+        }
+        return WriteTrace(
+            duration_ms=self.duration_ms,
+            writes=writes,
+            total_pages=self.total_pages,
+            name=self.name,
+        )
+
+
+def capture_workload(
+    profile: WorkloadProfile,
+    seed: int = 0,
+    warmup_ms: float = 0.0,
+) -> WriteTrace:
+    """Replay a workload's bus activity through a tracer and capture it.
+
+    Equivalent to :func:`repro.traces.generator.generate_trace` plus the
+    tracer's warmup discipline; exercises the full record/finish path.
+    """
+    raw = generate_trace(profile, seed=seed,
+                         duration_ms=profile.duration_ms + warmup_ms)
+    tracer = BusTracer(
+        total_pages=profile.n_pages,
+        duration_ms=profile.duration_ms,
+        warmup_ms=warmup_ms,
+        name=profile.name,
+    )
+    for time_ms, page in raw.merged_events():
+        tracer.record(BusEvent(time_ms=time_ms, page=page, is_write=True))
+    return tracer.finish()

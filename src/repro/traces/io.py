@@ -1,0 +1,57 @@
+"""Trace (de)serialisation.
+
+Write traces are stored as ``.npz`` archives: one array per written page
+plus a small metadata record. The format round-trips everything in a
+:class:`~repro.traces.events.WriteTrace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from .events import WriteTrace
+
+_META_KEY = "__meta__"
+
+
+def save_trace(trace: WriteTrace, path: Union[str, Path]) -> None:
+    """Persist a write trace to an ``.npz`` archive."""
+    path = Path(path)
+    meta = {
+        "duration_ms": trace.duration_ms,
+        "total_pages": trace.total_pages,
+        "name": trace.name,
+    }
+    arrays: Dict[str, np.ndarray] = {
+        f"page_{page}": times for page, times in trace.writes.items()
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: Union[str, Path]) -> WriteTrace:
+    """Load a write trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive:
+            raise ValueError(f"{path} is not a saved write trace")
+        meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+        writes: Dict[int, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                continue
+            if not key.startswith("page_"):
+                raise ValueError(f"unexpected array {key!r} in {path}")
+            writes[int(key[len("page_"):])] = archive[key]
+    return WriteTrace(
+        duration_ms=float(meta["duration_ms"]),
+        writes=writes,
+        total_pages=int(meta["total_pages"]),
+        name=str(meta["name"]),
+    )

@@ -1,0 +1,144 @@
+"""SPEC CPU2006 / TPC benchmark registry.
+
+Two independent roles, matching the paper's two uses of these workloads:
+
+* **Content profiles** (Figure 4): what a benchmark's memory image looks
+  like bit-wise, as a mixture of the row types in
+  :mod:`repro.traces.content`. Benchmarks with mostly zeroed/sparse images
+  (e.g. perlbench) trigger few data-dependent failures; dense float/random
+  images (e.g. lbm, GemsFDTD) trigger the most.
+
+* **Performance profiles** (Figures 15-16, Table 3): how memory-intensive
+  the benchmark is when driving the cycle simulator — misses per
+  kilo-instruction, row-buffer locality, read/write mix. Values follow the
+  well-known characterisation of SPEC CPU2006 memory behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .content import ContentProfile
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One benchmark: content statistics plus memory intensity."""
+
+    name: str
+    suite: str                # "spec" or "tpc"
+    content: ContentProfile
+    mpki: float               # last-level-cache misses per kilo-instruction
+    row_hit_rate: float       # row-buffer locality of its DRAM stream
+    write_fraction: float     # fraction of DRAM requests that are writes
+
+    def __post_init__(self) -> None:
+        if self.mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        if not 0.0 <= self.row_hit_rate <= 1.0:
+            raise ValueError("row_hit_rate must be in [0, 1]")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+
+def _bench(
+    name: str,
+    mixture: Dict[str, float],
+    mpki: float,
+    row_hit_rate: float = 0.6,
+    write_fraction: float = 0.3,
+    suite: str = "spec",
+) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        suite=suite,
+        content=ContentProfile(name=name, mixture=mixture),
+        mpki=mpki,
+        row_hit_rate=row_hit_rate,
+        write_fraction=write_fraction,
+    )
+
+
+#: The 20 SPEC CPU2006 benchmarks of the paper's Figure 4, in plot order,
+#: plus TPC-C/TPC-H server workloads used in the performance studies.
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    bench.name: bench
+    for bench in (
+        _bench("perlbench", {"zero": 0.90, "text": 0.06, "intdata": 0.04},
+               mpki=1.1, row_hit_rate=0.75),
+        _bench("bzip2", {"zero": 0.30, "random": 0.40, "intdata": 0.25,
+                         "text": 0.05}, mpki=3.9, row_hit_rate=0.55),
+        _bench("mcf", {"pointer": 0.55, "intdata": 0.35, "zero": 0.10},
+               mpki=67.8, row_hit_rate=0.35, write_fraction=0.25),
+        _bench("gcc", {"text": 0.25, "pointer": 0.30, "code": 0.25,
+                       "zero": 0.20}, mpki=8.2, row_hit_rate=0.5),
+        _bench("zeusmp", {"floatdata": 0.65, "zero": 0.25, "intdata": 0.10},
+               mpki=9.5, row_hit_rate=0.7),
+        _bench("cactusADM", {"floatdata": 0.70, "zero": 0.20,
+                             "intdata": 0.10}, mpki=7.9, row_hit_rate=0.7),
+        _bench("gobmk", {"zero": 0.72, "intdata": 0.18, "pointer": 0.10},
+               mpki=1.5, row_hit_rate=0.65),
+        _bench("namd", {"floatdata": 0.60, "zero": 0.30, "intdata": 0.10},
+               mpki=1.2, row_hit_rate=0.75),
+        _bench("soplex", {"floatdata": 0.55, "pointer": 0.20, "zero": 0.15,
+                          "intdata": 0.10}, mpki=32.5, row_hit_rate=0.55),
+        _bench("dealII", {"floatdata": 0.45, "pointer": 0.30, "zero": 0.20,
+                          "intdata": 0.05}, mpki=2.1, row_hit_rate=0.7),
+        _bench("calculix", {"floatdata": 0.30, "zero": 0.60,
+                            "intdata": 0.10}, mpki=1.4, row_hit_rate=0.75),
+        _bench("hmmer", {"intdata": 0.55, "zero": 0.30, "text": 0.15},
+               mpki=2.6, row_hit_rate=0.8),
+        _bench("libquantum", {"floatdata": 0.75, "zero": 0.15,
+                              "intdata": 0.10}, mpki=25.4, row_hit_rate=0.9,
+               write_fraction=0.25),
+        _bench("GemsFDTD", {"floatdata": 0.85, "code": 0.05,
+                            "intdata": 0.10}, mpki=22.1, row_hit_rate=0.65),
+        _bench("h264ref", {"intdata": 0.40, "random": 0.30, "zero": 0.20,
+                           "text": 0.10}, mpki=2.3, row_hit_rate=0.7),
+        _bench("tonto", {"floatdata": 0.55, "zero": 0.35, "intdata": 0.10},
+               mpki=1.0, row_hit_rate=0.75),
+        _bench("omnetpp", {"pointer": 0.60, "intdata": 0.20, "zero": 0.15,
+                           "text": 0.05}, mpki=21.5, row_hit_rate=0.3,
+               write_fraction=0.35),
+        _bench("lbm", {"floatdata": 0.85, "code": 0.10, "intdata": 0.05},
+               mpki=31.9, row_hit_rate=0.85, write_fraction=0.45),
+        _bench("xalancbmk", {"pointer": 0.45, "text": 0.35, "zero": 0.15,
+                             "intdata": 0.05}, mpki=23.9, row_hit_rate=0.4),
+        _bench("astar", {"pointer": 0.45, "intdata": 0.35, "zero": 0.20},
+               mpki=9.1, row_hit_rate=0.45),
+        # Server workloads (paper §5 uses TPC-C and TPC-H for the
+        # multiprogrammed performance studies).
+        _bench("tpcc", {"intdata": 0.35, "text": 0.30, "pointer": 0.25,
+                        "zero": 0.10}, mpki=18.7, row_hit_rate=0.4,
+               write_fraction=0.4, suite="tpc"),
+        _bench("tpch", {"intdata": 0.40, "text": 0.25, "pointer": 0.20,
+                        "floatdata": 0.15}, mpki=14.2, row_hit_rate=0.5,
+               write_fraction=0.3, suite="tpc"),
+    )
+}
+
+#: Figure 4 plots exactly these 20 SPEC benchmarks, in this order.
+FIGURE4_BENCHMARKS: Tuple[str, ...] = (
+    "perlbench", "bzip2", "mcf", "gcc", "zeusmp", "cactusADM", "gobmk",
+    "namd", "soplex", "dealII", "calculix", "hmmer", "libquantum",
+    "GemsFDTD", "h264ref", "tonto", "omnetpp", "lbm", "xalancbmk", "astar",
+)
+
+
+def benchmark_names(suite: str = "") -> List[str]:
+    """Benchmark names, optionally filtered by suite ("spec" / "tpc")."""
+    return [
+        name for name, bench in BENCHMARKS.items()
+        if not suite or bench.suite == suite
+    ]
+
+
+def get_benchmark(name: str) -> BenchmarkProfile:
+    """Look up a benchmark by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {list(BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,109 @@
+"""Tests for the closed-form Pareto interval model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.intervals import ril_exceeds_probability
+from repro.analysis.model import ParetoIntervalModel, dhr_increase_with_cil
+from repro.traces.events import WriteTrace
+
+
+class TestSurvival:
+    def test_below_scale_is_certain(self):
+        model = ParetoIntervalModel(alpha=0.7, xm_ms=2.0)
+        assert model.survival(1.0) == 1.0
+
+    def test_power_law_form(self):
+        model = ParetoIntervalModel(alpha=0.5, xm_ms=1.0)
+        assert model.survival(4.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        model = ParetoIntervalModel(alpha=0.7)
+        xs = [1.0, 2.0, 10.0, 100.0]
+        values = [model.survival(x) for x in xs]
+        assert values == sorted(values, reverse=True)
+
+
+class TestConditionalRil:
+    def test_closed_form(self):
+        model = ParetoIntervalModel(alpha=1.0, xm_ms=1.0)
+        # P(RIL > r | CIL = c) = c / (c + r) for alpha = 1.
+        assert model.conditional_ril_survival(512.0, 512.0) == pytest.approx(0.5)
+
+    def test_increases_with_cil(self):
+        model = ParetoIntervalModel(alpha=0.7)
+        values = [
+            model.conditional_ril_survival(c, 1024.0)
+            for c in (64.0, 512.0, 4096.0, 32768.0)
+        ]
+        assert values == sorted(values)
+
+    def test_approaches_one_for_huge_cil(self):
+        model = ParetoIntervalModel(alpha=0.7)
+        assert model.conditional_ril_survival(1e9, 1024.0) > 0.999
+
+    def test_matches_empirical_pareto_trace(self, trace_factory=None):
+        """The analytic conditional must match a sampled Pareto trace."""
+        alpha, xm = 0.7, 1.0
+        rng = np.random.default_rng(3)
+        gaps = xm * rng.random(400_000) ** (-1.0 / alpha)
+        times = np.cumsum(gaps)
+        duration = float(times[-1]) + 1.0
+        trace = WriteTrace(duration_ms=duration,
+                           writes={0: times[:-1]}, total_pages=1)
+        model = ParetoIntervalModel(alpha=alpha, xm_ms=xm)
+        for cil in (8.0, 64.0, 512.0):
+            empirical = ril_exceeds_probability(trace, cil, 1024.0)
+            analytic = model.conditional_ril_survival(cil, 1024.0)
+            assert empirical == pytest.approx(analytic, abs=0.03)
+
+    @given(st.floats(0.3, 2.0), st.floats(1.0, 1e5), st.floats(1.0, 1e5))
+    @settings(max_examples=50, deadline=None)
+    def test_dhr_property_holds_everywhere(self, alpha, cil, ril):
+        model = ParetoIntervalModel(alpha=alpha)
+        assert dhr_increase_with_cil(model, ril, cil, cil * 2.0) >= 0.0
+
+
+class TestSizingHelpers:
+    def test_expected_remaining_diverges_for_heavy_tail(self):
+        assert ParetoIntervalModel(alpha=0.7).expected_remaining_ms(
+            100.0
+        ) == math.inf
+
+    def test_expected_remaining_finite_above_one(self):
+        model = ParetoIntervalModel(alpha=2.0)
+        assert model.expected_remaining_ms(100.0) == pytest.approx(100.0)
+
+    def test_cil_for_confidence_inverts_conditional(self):
+        model = ParetoIntervalModel(alpha=0.7)
+        cil = model.cil_for_target_confidence(1024.0, 0.7)
+        assert model.conditional_ril_survival(cil, 1024.0) == pytest.approx(
+            0.7, abs=1e-9
+        )
+
+    def test_higher_confidence_needs_longer_wait(self):
+        model = ParetoIntervalModel(alpha=0.7)
+        assert model.cil_for_target_confidence(
+            1024.0, 0.9
+        ) > model.cil_for_target_confidence(1024.0, 0.5)
+
+    def test_paper_regime_sizing(self):
+        """At the fitted alpha ~0.5, a 512-2048 ms quantum delivers the
+        paper's 50-80% confidence band for RIL > 1024 ms."""
+        model = ParetoIntervalModel(alpha=0.5)
+        p_512 = model.conditional_ril_survival(512.0, 1024.0)
+        p_2048 = model.conditional_ril_survival(2048.0, 1024.0)
+        assert 0.4 < p_512 < 0.8
+        assert p_2048 > p_512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoIntervalModel(alpha=0.0)
+        model = ParetoIntervalModel(alpha=1.0)
+        with pytest.raises(ValueError):
+            model.cil_for_target_confidence(1024.0, 1.5)
+        with pytest.raises(ValueError):
+            model.hazard(0.5)

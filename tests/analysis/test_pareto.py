@@ -1,0 +1,126 @@
+"""Tests for Pareto fitting and hazard-rate analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pareto import (
+    ParetoFit,
+    empirical_ccdf,
+    fit_pareto,
+    hazard_rate,
+    is_decreasing_hazard,
+)
+
+
+def pareto_sample(n: int, alpha: float, xm: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return xm * rng.random(n) ** (-1.0 / alpha)
+
+
+class TestEmpiricalCcdf:
+    def test_survival_at_minimum_is_below_one(self):
+        x, p = empirical_ccdf(np.array([1.0, 2.0, 3.0]))
+        # P(L > 1) counts strictly greater samples.
+        assert p[0] == pytest.approx(2 / 3)
+
+    def test_survival_at_maximum_is_zero(self):
+        x, p = empirical_ccdf(np.array([1.0, 2.0, 3.0]))
+        assert p[-1] == 0.0
+
+    def test_monotone_decreasing(self):
+        samples = pareto_sample(5000, 0.8, 1.0, 0)
+        x, p = empirical_ccdf(samples, np.logspace(0, 3, 30))
+        assert np.all(np.diff(p) <= 0)
+
+    def test_custom_grid(self):
+        samples = np.array([1.0, 5.0, 10.0])
+        x, p = empirical_ccdf(samples, np.array([2.0, 7.0]))
+        assert list(p) == [pytest.approx(2 / 3), pytest.approx(1 / 3)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_ccdf(np.array([]))
+
+
+class TestFitPareto:
+    def test_recovers_known_alpha(self):
+        samples = pareto_sample(200_000, 0.75, 1.0, 1)
+        fit = fit_pareto(samples, x_min=1.0, x_max=1e4)
+        assert fit.alpha == pytest.approx(0.75, abs=0.05)
+
+    def test_r_squared_near_one_for_true_pareto(self):
+        samples = pareto_sample(200_000, 0.75, 1.0, 2)
+        fit = fit_pareto(samples, x_min=1.0, x_max=1e4)
+        assert fit.r_squared > 0.99
+
+    def test_exponential_fits_worse_than_pareto(self):
+        rng = np.random.default_rng(3)
+        exponential = rng.exponential(10.0, 100_000)
+        pareto = pareto_sample(100_000, 0.75, 1.0, 3)
+        fit_exp = fit_pareto(exponential, x_min=1.0, x_max=80.0)
+        fit_par = fit_pareto(pareto, x_min=1.0, x_max=80.0)
+        assert fit_par.r_squared > fit_exp.r_squared
+
+    def test_model_ccdf_clipped_to_unit(self):
+        fit = ParetoFit(alpha=0.5, k=10.0, r_squared=1.0, n_samples=10,
+                        x_min=1.0)
+        assert np.all(fit.ccdf(np.array([0.001, 1.0, 1e9])) <= 1.0)
+
+    def test_model_ccdf_matches_formula(self):
+        fit = ParetoFit(alpha=0.5, k=0.1, r_squared=1.0, n_samples=10,
+                        x_min=1.0)
+        assert fit.ccdf(np.array([4.0]))[0] == pytest.approx(0.05)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError, match="at least 10"):
+            fit_pareto(np.array([1.0, 2.0]))
+
+    def test_x_max_below_x_min_raises(self):
+        with pytest.raises(ValueError, match="x_max"):
+            fit_pareto(pareto_sample(100, 1.0, 1.0, 0), x_min=10.0, x_max=5.0)
+
+    @given(
+        st.floats(min_value=0.4, max_value=1.5),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_alpha_recovery_property(self, alpha, seed):
+        samples = pareto_sample(50_000, alpha, 1.0, seed)
+        fit = fit_pareto(samples, x_min=1.0, x_max=1000.0)
+        assert fit.alpha == pytest.approx(alpha, rel=0.15)
+        assert fit.r_squared > 0.97
+
+
+class TestHazardRate:
+    def test_pareto_hazard_decreases(self):
+        samples = pareto_sample(200_000, 0.8, 1.0, 5)
+        grid = np.logspace(0, 3, 10)
+        rates = hazard_rate(samples, grid)
+        valid = rates[~np.isnan(rates)]
+        assert np.all(np.diff(valid) < 0)
+
+    def test_exponential_hazard_roughly_flat(self):
+        rng = np.random.default_rng(6)
+        samples = rng.exponential(10.0, 500_000)
+        grid = np.linspace(1.0, 30.0, 8)
+        rates = hazard_rate(samples, grid)
+        assert rates.max() / rates.min() < 1.5
+
+    def test_grid_too_small_raises(self):
+        with pytest.raises(ValueError):
+            hazard_rate(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestDecreasingHazard:
+    def test_pareto_is_dhr(self):
+        samples = pareto_sample(100_000, 0.7, 1.0, 7)
+        assert is_decreasing_hazard(samples)
+
+    def test_increasing_hazard_rejected(self):
+        rng = np.random.default_rng(8)
+        # Rayleigh-like distribution has increasing hazard.
+        samples = rng.rayleigh(50.0, 100_000)
+        assert not is_decreasing_hazard(
+            samples, grid=np.linspace(1.0, 150.0, 12), tolerance=0.1
+        )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram import DramDevice, DramGeometry, TINY_MODULE
+from repro.dram.faults import FaultMap, FaultModelConfig
+from repro.traces.events import WriteTrace
+
+
+@pytest.fixture
+def tiny_geometry() -> DramGeometry:
+    return TINY_MODULE
+
+
+@pytest.fixture
+def dense_fault_device() -> DramDevice:
+    """A small device with a dense fault population (fast, many failures)."""
+    geometry = DramGeometry(
+        channels=1, ranks=1, banks=2, rows_per_bank=32,
+        row_size_bytes=512, block_size_bytes=64,
+    )
+    device = DramDevice(geometry, seed=7)
+    device.cells.fault_map = FaultMap(
+        total_rows=geometry.total_rows,
+        bits_per_row=device.cells.vendor_mapping.physical_columns,
+        config=FaultModelConfig(vulnerable_cell_rate=5e-3),
+        seed=7,
+    )
+    return device
+
+
+def make_trace(writes: dict, duration_ms: float = 10_000.0,
+               total_pages: int = 16, name: str = "test") -> WriteTrace:
+    """Small literal write trace for unit tests."""
+    return WriteTrace(
+        duration_ms=duration_ms,
+        writes={p: np.asarray(t, dtype=np.float64) for p, t in writes.items()},
+        total_pages=total_pages,
+        name=name,
+    )
+
+
+@pytest.fixture
+def trace_factory():
+    return make_trace

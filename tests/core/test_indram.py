@@ -1,0 +1,72 @@
+"""Tests for in-DRAM copy acceleration of Copy&Compare."""
+
+import pytest
+
+from repro.core.costmodel import CostModel, TestMode
+from repro.core.indram import (
+    AcceleratedCostModel,
+    CopyMechanism,
+    accelerated_test_cost_ns,
+    copy_cost_ns,
+    min_write_interval_by_mechanism,
+)
+
+
+class TestCopyCosts:
+    def test_over_channel_matches_row_write(self):
+        assert copy_cost_ns(CopyMechanism.OVER_CHANNEL) == 534.0
+
+    def test_rowclone_much_cheaper(self):
+        # 2 * tRAS + tRP = 67 ns vs 534 ns streaming.
+        assert copy_cost_ns(CopyMechanism.ROWCLONE) == 67.0
+
+    def test_lisa_slightly_above_rowclone(self):
+        assert copy_cost_ns(CopyMechanism.LISA) > copy_cost_ns(
+            CopyMechanism.ROWCLONE
+        )
+        assert copy_cost_ns(CopyMechanism.LISA) < 100.0
+
+    def test_accelerated_total_cost(self):
+        assert accelerated_test_cost_ns(
+            CopyMechanism.OVER_CHANNEL
+        ) == 1602.0
+        assert accelerated_test_cost_ns(
+            CopyMechanism.ROWCLONE
+        ) == 2 * 534.0 + 67.0
+
+
+class TestAcceleratedModel:
+    def test_over_channel_reduces_to_baseline(self):
+        model = AcceleratedCostModel(
+            copy_mechanism=CopyMechanism.OVER_CHANNEL
+        )
+        baseline = CostModel()
+        for t_ms in (0.0, 100.0, 900.0):
+            assert model.memcon_cost_ns(
+                t_ms, TestMode.COPY_AND_COMPARE
+            ) == baseline.memcon_cost_ns(t_ms, TestMode.COPY_AND_COMPARE)
+
+    def test_read_and_compare_unaffected(self):
+        model = AcceleratedCostModel(copy_mechanism=CopyMechanism.ROWCLONE)
+        baseline = CostModel()
+        assert model.memcon_cost_ns(
+            500.0, TestMode.READ_AND_COMPARE
+        ) == baseline.memcon_cost_ns(500.0, TestMode.READ_AND_COMPARE)
+
+    def test_rowclone_shrinks_min_write_interval(self):
+        intervals = min_write_interval_by_mechanism()
+        assert intervals[CopyMechanism.OVER_CHANNEL] == 864.0
+        assert intervals[CopyMechanism.ROWCLONE] < 864.0
+        assert intervals[CopyMechanism.LISA] < 864.0
+
+    def test_rowclone_approaches_read_and_compare(self):
+        """With a near-free copy, Copy&Compare's crossover nears
+        Read&Compare's 560 ms plus the small extra activation cost."""
+        intervals = min_write_interval_by_mechanism()
+        assert 560.0 <= intervals[CopyMechanism.ROWCLONE] <= 700.0
+
+    def test_mechanism_ordering(self):
+        intervals = min_write_interval_by_mechanism()
+        assert (intervals[CopyMechanism.ROWCLONE]
+                <= intervals[CopyMechanism.LISA]
+                <= intervals[CopyMechanism.OVER_CHANNEL])

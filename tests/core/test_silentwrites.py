@@ -1,0 +1,90 @@
+"""Tests for silent-write detection and trace filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core.memcon import MemconConfig, simulate_refresh_reduction
+from repro.core.silentwrites import SilentWriteFilter, filter_trace
+from repro.traces.generator import generate_trace
+from repro.traces.workloads import WORKLOADS
+
+
+class TestFilterObject:
+    def test_first_write_not_silent(self):
+        f = SilentWriteFilter()
+        assert not f.observe(0, b"hello")
+
+    def test_repeat_content_is_silent(self):
+        f = SilentWriteFilter()
+        f.observe(0, b"hello")
+        assert f.observe(0, b"hello")
+        assert f.stats.silent_fraction == 0.5
+
+    def test_changed_content_not_silent(self):
+        f = SilentWriteFilter()
+        f.observe(0, b"hello")
+        assert not f.observe(0, b"world")
+
+    def test_pages_independent(self):
+        f = SilentWriteFilter()
+        f.observe(0, b"hello")
+        assert not f.observe(1, b"hello")
+
+    def test_silent_then_changed_then_silent(self):
+        f = SilentWriteFilter()
+        f.observe(0, b"a")
+        assert f.observe(0, b"a")
+        assert not f.observe(0, b"b")
+        assert f.observe(0, b"b")
+        assert f.stats.writes_seen == 4
+        assert f.stats.silent_writes == 2
+
+    def test_negative_page_raises(self):
+        with pytest.raises(ValueError):
+            SilentWriteFilter().observe(-1, b"x")
+
+    def test_empty_stats(self):
+        assert SilentWriteFilter().stats.silent_fraction == 0.0
+
+
+class TestTraceFiltering:
+    def test_zero_probability_is_identity(self, trace_factory):
+        trace = trace_factory({0: [1.0, 2.0, 3.0]})
+        filtered, stats = filter_trace(trace, 0.0)
+        assert np.array_equal(filtered.writes[0], trace.writes[0])
+        assert stats.silent_writes == 0
+
+    def test_first_write_always_kept(self, trace_factory):
+        trace = trace_factory({0: [1.0, 2.0, 3.0]})
+        filtered, stats = filter_trace(trace, 1.0)
+        assert list(filtered.writes[0]) == [1.0]
+        assert stats.silent_writes == 2
+
+    def test_expected_drop_rate(self, trace_factory):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 9000, 2000))
+        trace = trace_factory({0: times})
+        _, stats = filter_trace(trace, 0.4, seed=1)
+        assert stats.silent_fraction == pytest.approx(0.4, abs=0.05)
+
+    def test_footprint_preserved(self, trace_factory):
+        trace = trace_factory({0: [1.0], 1: [2.0]}, total_pages=16)
+        filtered, _ = filter_trace(trace, 0.5, seed=2)
+        assert filtered.total_pages == 16
+        assert filtered.duration_ms == trace.duration_ms
+
+    def test_invalid_probability_raises(self, trace_factory):
+        with pytest.raises(ValueError):
+            filter_trace(trace_factory({0: [1.0]}), 1.5)
+
+    def test_silent_filtering_never_hurts_reduction(self):
+        """Dropping silent writes can only lengthen apparent idle spans,
+        so MEMCON's refresh reduction must not decrease."""
+        trace = generate_trace(WORKLOADS["BlurMotion"], seed=6,
+                               duration_ms=15_000.0)
+        config = MemconConfig(quantum_ms=1024.0)
+        plain = simulate_refresh_reduction(trace, config)
+        filtered, stats = filter_trace(trace, 0.4, seed=3)
+        improved = simulate_refresh_reduction(filtered, config)
+        assert stats.silent_fraction > 0.3
+        assert improved.refresh_reduction >= plain.refresh_reduction - 0.01

@@ -1,0 +1,150 @@
+"""Tests for the functional DRAM device."""
+
+import numpy as np
+import pytest
+
+from repro.dram import DeviceError, DramDevice, TINY_MODULE
+from repro.dram.faults import FaultMap, FaultModelConfig
+from repro.dram.geometry import DramGeometry
+
+
+@pytest.fixture
+def device() -> DramDevice:
+    return DramDevice(TINY_MODULE, seed=3)
+
+
+@pytest.fixture
+def decaying_device() -> DramDevice:
+    geometry = DramGeometry(
+        channels=1, ranks=1, banks=2, rows_per_bank=32,
+        row_size_bytes=512, block_size_bytes=64,
+    )
+    device = DramDevice(geometry, seed=7)
+    device.cells.fault_map = FaultMap(
+        total_rows=geometry.total_rows,
+        bits_per_row=device.cells.vendor_mapping.physical_columns,
+        config=FaultModelConfig(vulnerable_cell_rate=5e-3),
+        seed=7,
+    )
+    return device
+
+
+class TestCommandProtocol:
+    def test_activate_then_read(self, device):
+        device.activate(0, 0, 0, 5, now_ms=0.0)
+        data = device.read_block(0, 0, 0, 2)
+        assert data == bytes(64)
+
+    def test_double_activate_raises(self, device):
+        device.activate(0, 0, 0, 5, now_ms=0.0)
+        with pytest.raises(DeviceError, match="already has row"):
+            device.activate(0, 0, 0, 6, now_ms=0.0)
+
+    def test_read_precharged_bank_raises(self, device):
+        with pytest.raises(DeviceError, match="precharged"):
+            device.read_block(0, 0, 0, 0)
+
+    def test_write_precharged_bank_raises(self, device):
+        with pytest.raises(DeviceError, match="precharged"):
+            device.write_block(0, 0, 0, 0, bytes(64))
+
+    def test_precharge_closes_row(self, device):
+        device.activate(0, 0, 0, 5, now_ms=0.0)
+        device.precharge(0, 0, 0)
+        with pytest.raises(DeviceError):
+            device.read_block(0, 0, 0, 0)
+
+    def test_double_precharge_raises(self, device):
+        with pytest.raises(DeviceError, match="already precharged"):
+            device.precharge(0, 0, 0)
+
+    def test_write_visible_after_reopen(self, device):
+        payload = bytes([0x5A] * 64)
+        device.activate(0, 0, 1, 3, now_ms=0.0)
+        device.write_block(0, 0, 1, 7, payload)
+        device.precharge(0, 0, 1)
+        device.activate(0, 0, 1, 3, now_ms=1.0)
+        assert device.read_block(0, 0, 1, 7) == payload
+
+    def test_banks_independent(self, device):
+        device.activate(0, 0, 0, 1, now_ms=0.0)
+        device.activate(0, 0, 1, 2, now_ms=0.0)
+        device.write_block(0, 0, 0, 0, bytes([1] * 64))
+        device.write_block(0, 0, 1, 0, bytes([2] * 64))
+        assert device.read_block(0, 0, 0, 0) == bytes([1] * 64)
+        assert device.read_block(0, 0, 1, 0) == bytes([2] * 64)
+
+    def test_out_of_range_block_raises(self, device):
+        device.activate(0, 0, 0, 0, now_ms=0.0)
+        with pytest.raises(DeviceError, match="block"):
+            device.read_block(0, 0, 0, TINY_MODULE.blocks_per_row)
+
+
+class TestRetention:
+    def test_idle_row_decays(self, decaying_device):
+        rng = np.random.default_rng(3)
+        flipped_any = False
+        for row in range(decaying_device.geometry.total_rows):
+            data = rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+            decaying_device.write_row(row, data, now_ms=0.0)
+            if decaying_device.read_row(row, now_ms=2000.0) != data:
+                flipped_any = True
+        assert flipped_any
+
+    def test_refresh_prevents_decay(self, decaying_device):
+        rng = np.random.default_rng(4)
+        for row in range(16):
+            data = rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+            decaying_device.write_row(row, data, now_ms=0.0)
+            # Refresh every 64 ms: never idle long enough to fail.
+            for k in range(1, 32):
+                decaying_device.refresh_row(row, now_ms=64.0 * k)
+            assert decaying_device.read_row(row, now_ms=2048.0) == data
+
+    def test_activate_recharges(self, decaying_device):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+        decaying_device.write_row(0, data, now_ms=0.0)
+        # Frequent reads keep the row charged (reads refresh the row).
+        content = data
+        for k in range(1, 64):
+            content = decaying_device.read_row(0, now_ms=32.0 * k)
+        assert content == data
+
+    def test_decay_counts_grow_with_idle_time(self, decaying_device):
+        rng = np.random.default_rng(6)
+        total_rows = decaying_device.geometry.total_rows
+        short_flips = 0
+        long_flips = 0
+        for row in range(total_rows):
+            data = rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+            decaying_device.write_row(row, data, now_ms=0.0)
+            short = decaying_device.read_row(row, now_ms=300.0)
+            short_flips += sum(
+                bin(a ^ b).count("1") for a, b in zip(short, data)
+            )
+        for row in range(total_rows):
+            data = rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+            decaying_device.write_row(row, data, now_ms=10_000.0)
+            long = decaying_device.read_row(row, now_ms=14_000.0)
+            long_flips += sum(
+                bin(a ^ b).count("1") for a, b in zip(long, data)
+            )
+        assert long_flips >= short_flips
+
+    def test_last_charge_tracking(self, device):
+        assert device.last_charge_ms(0) == 0.0
+        device.write_row(0, bytes(TINY_MODULE.row_size_bytes), now_ms=5.0)
+        assert device.last_charge_ms(0) == 5.0
+        device.refresh_row(0, now_ms=9.0)
+        assert device.last_charge_ms(0) == 9.0
+
+    def test_refresh_counts(self, device):
+        before = device.refresh_count
+        device.refresh_row(0, now_ms=1.0)
+        device.refresh_row(1, now_ms=1.0)
+        assert device.refresh_count == before + 2
+
+    def test_wrong_row_size_raises(self, device):
+        with pytest.raises(ValueError, match="bytes"):
+            device.write_row(0, b"short", now_ms=0.0)

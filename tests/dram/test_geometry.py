@@ -1,0 +1,73 @@
+"""Tests for DRAM geometry and the row address codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.geometry import (
+    PAPER_MODULE,
+    TINY_MODULE,
+    DramGeometry,
+    RowAddress,
+)
+
+
+class TestShape:
+    def test_paper_module_capacity(self):
+        # 8 banks x 32768 rows x 8 KB = 2 GB, the paper's test module.
+        assert PAPER_MODULE.capacity_bytes == 2 * 1024 ** 3
+
+    def test_paper_module_rows(self):
+        assert PAPER_MODULE.total_rows == 262144
+
+    def test_blocks_per_row(self):
+        assert PAPER_MODULE.blocks_per_row == 128
+
+    def test_bits_per_row(self):
+        assert PAPER_MODULE.bits_per_row == 65536
+
+    def test_row_size_must_be_block_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            DramGeometry(row_size_bytes=100, block_size_bytes=64)
+
+    @pytest.mark.parametrize("field", [
+        "channels", "ranks", "banks", "rows_per_bank",
+        "row_size_bytes", "block_size_bytes",
+    ])
+    def test_non_positive_raises(self, field):
+        with pytest.raises(ValueError, match=field):
+            DramGeometry(**{field: 0})
+
+
+class TestCodec:
+    def test_roundtrip_first_row(self):
+        addr = RowAddress(0, 0, 0, 0)
+        assert TINY_MODULE.row_address(TINY_MODULE.row_index(addr)) == addr
+
+    def test_roundtrip_last_row(self):
+        geometry = TINY_MODULE
+        addr = RowAddress(0, 0, geometry.banks - 1, geometry.rows_per_bank - 1)
+        assert geometry.row_address(geometry.row_index(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=TINY_MODULE.total_rows - 1))
+    def test_roundtrip_property(self, index):
+        assert TINY_MODULE.row_index(TINY_MODULE.row_address(index)) == index
+
+    def test_index_is_dense_and_unique(self):
+        indices = {TINY_MODULE.row_index(a) for a in TINY_MODULE.iter_rows()}
+        assert indices == set(range(TINY_MODULE.total_rows))
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(ValueError):
+            TINY_MODULE.row_address(TINY_MODULE.total_rows)
+
+    def test_out_of_range_bank_raises(self):
+        with pytest.raises(ValueError, match="bank"):
+            TINY_MODULE.row_index(RowAddress(0, 0, TINY_MODULE.banks, 0))
+
+    def test_byte_to_row(self):
+        assert TINY_MODULE.byte_to_row(0) == 0
+        assert TINY_MODULE.byte_to_row(TINY_MODULE.row_size_bytes) == 1
+
+    def test_byte_to_row_out_of_range(self):
+        with pytest.raises(ValueError):
+            TINY_MODULE.byte_to_row(TINY_MODULE.capacity_bytes)

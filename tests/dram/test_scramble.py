@@ -1,0 +1,143 @@
+"""Tests for vendor address scrambling and column remapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.scramble import (
+    AddressScrambler,
+    ColumnRemapper,
+    VendorMapping,
+    make_vendor_mapping,
+)
+
+
+class TestAddressScrambler:
+    def test_is_bijective(self):
+        scrambler = AddressScrambler(columns=256, seed=3)
+        mapped = {scrambler.to_physical(c) for c in range(256)}
+        assert mapped == set(range(256))
+
+    def test_inverse_roundtrip(self):
+        scrambler = AddressScrambler(columns=128, seed=5)
+        for column in range(128):
+            assert scrambler.to_system(scrambler.to_physical(column)) == column
+
+    def test_different_seeds_differ(self):
+        a = AddressScrambler(columns=512, seed=1)
+        b = AddressScrambler(columns=512, seed=2)
+        assert any(
+            a.to_physical(c) != b.to_physical(c) for c in range(512)
+        )
+
+    def test_same_seed_deterministic(self):
+        a = AddressScrambler(columns=512, seed=9)
+        b = AddressScrambler(columns=512, seed=9)
+        assert all(a.to_physical(c) == b.to_physical(c) for c in range(512))
+
+    def test_row_scramble_roundtrip(self):
+        scrambler = AddressScrambler(columns=64, seed=4)
+        bits = np.random.default_rng(0).integers(0, 2, 64).astype(np.uint8)
+        assert np.array_equal(
+            scrambler.unscramble_row(scrambler.scramble_row(bits)), bits
+        )
+
+    def test_scramble_preserves_multiset(self):
+        scrambler = AddressScrambler(columns=64, seed=4)
+        bits = np.arange(64, dtype=np.int64)
+        scrambled = scrambler.scramble_row(bits)
+        assert sorted(scrambled) == sorted(bits)
+
+    def test_wrong_length_raises(self):
+        scrambler = AddressScrambler(columns=64, seed=4)
+        with pytest.raises(ValueError, match="length"):
+            scrambler.scramble_row(np.zeros(65, dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=2 ** 31), st.integers(2, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_bijection_property(self, seed, columns):
+        scrambler = AddressScrambler(columns=columns, seed=seed)
+        assert {scrambler.to_physical(c) for c in range(columns)} == set(
+            range(columns)
+        )
+
+
+class TestColumnRemapper:
+    def test_no_faults_is_identity(self):
+        remapper = ColumnRemapper(array_columns=32, spare_columns=4)
+        assert all(remapper.physical_location(c) == c for c in range(32))
+
+    def test_faulty_column_moves_to_spare(self):
+        remapper = ColumnRemapper(
+            array_columns=32, spare_columns=4, faulty_columns=(5, 17)
+        )
+        assert remapper.physical_location(5) == 32
+        assert remapper.physical_location(17) == 33
+        assert remapper.physical_location(6) == 6
+
+    def test_place_extract_roundtrip(self):
+        remapper = ColumnRemapper(
+            array_columns=16, spare_columns=3, faulty_columns=(1, 8)
+        )
+        bits = np.random.default_rng(1).integers(0, 2, 16).astype(np.uint8)
+        assert np.array_equal(remapper.extract_row(remapper.place_row(bits)), bits)
+
+    def test_faulty_positions_cleared_in_silicon(self):
+        remapper = ColumnRemapper(
+            array_columns=8, spare_columns=1, faulty_columns=(3,)
+        )
+        bits = np.ones(8, dtype=np.uint8)
+        physical = remapper.place_row(bits)
+        assert physical[3] == 0      # faulty main-array cell unused
+        assert physical[8] == 1      # data lives in the spare
+
+    def test_more_faults_than_spares_raises(self):
+        with pytest.raises(ValueError, match="spares"):
+            ColumnRemapper(array_columns=8, spare_columns=1,
+                           faulty_columns=(1, 2))
+
+    def test_duplicate_fault_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ColumnRemapper(array_columns=8, spare_columns=2,
+                           faulty_columns=(1, 1))
+
+    def test_out_of_range_fault_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ColumnRemapper(array_columns=8, spare_columns=2,
+                           faulty_columns=(9,))
+
+
+class TestVendorMapping:
+    def test_roundtrip_through_silicon(self):
+        mapping = make_vendor_mapping(
+            columns=128, seed=11, spare_columns=8, faulty_fraction=0.05
+        )
+        bits = np.random.default_rng(2).integers(0, 2, 128).astype(np.uint8)
+        assert np.array_equal(mapping.from_silicon(mapping.to_silicon(bits)), bits)
+
+    def test_silicon_width_includes_spares(self):
+        mapping = make_vendor_mapping(columns=128, seed=1, spare_columns=8)
+        assert mapping.physical_columns == 136
+
+    def test_silicon_index_consistent_with_layout(self):
+        mapping = make_vendor_mapping(
+            columns=64, seed=3, spare_columns=4, faulty_fraction=0.05
+        )
+        bits = np.zeros(64, dtype=np.uint8)
+        for column in range(64):
+            bits[:] = 0
+            bits[column] = 1
+            physical = mapping.to_silicon(bits)
+            assert physical[mapping.silicon_index(column)] == 1
+            assert physical.sum() == 1
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="widths"):
+            VendorMapping(
+                scrambler=AddressScrambler(columns=64, seed=0),
+                remapper=ColumnRemapper(array_columns=32, spare_columns=0),
+            )
+
+    def test_bad_faulty_fraction_raises(self):
+        with pytest.raises(ValueError, match="faulty_fraction"):
+            make_vendor_mapping(columns=64, faulty_fraction=1.5)

@@ -1,0 +1,78 @@
+"""Tests for the retention temperature model."""
+
+import pytest
+
+from repro.dram.temperature import (
+    DEFAULT_TEMPERATURE_MODEL,
+    REFERENCE_TEMPERATURE_C,
+    RetentionTemperatureModel,
+)
+
+
+class TestScaling:
+    def test_paper_conversion_exact(self):
+        """4 s at 45C corresponds to 328 ms at 85C (paper §5)."""
+        model = DEFAULT_TEMPERATURE_MODEL
+        assert model.scale_interval(4000.0, 45.0, 85.0) == pytest.approx(
+            328.0
+        )
+
+    def test_reference_helper(self):
+        assert DEFAULT_TEMPERATURE_MODEL.equivalent_at_reference(
+            4000.0, 45.0
+        ) == pytest.approx(328.0)
+
+    def test_identity_at_same_temperature(self):
+        assert DEFAULT_TEMPERATURE_MODEL.scale_interval(
+            100.0, 60.0, 60.0
+        ) == pytest.approx(100.0)
+
+    def test_roundtrip(self):
+        model = DEFAULT_TEMPERATURE_MODEL
+        scaled = model.scale_interval(64.0, 85.0, 45.0)
+        assert model.scale_interval(scaled, 45.0, 85.0) == pytest.approx(64.0)
+
+    def test_hotter_means_shorter(self):
+        model = DEFAULT_TEMPERATURE_MODEL
+        assert model.scale_interval(64.0, 45.0, 85.0) < 64.0
+        assert model.scale_interval(64.0, 85.0, 45.0) > 64.0
+
+    def test_doubling_definition(self):
+        model = RetentionTemperatureModel(doubling_celsius=10.0)
+        assert model.scale_interval(100.0, 50.0, 40.0) == pytest.approx(200.0)
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TEMPERATURE_MODEL.scale_interval(0.0, 45.0, 85.0)
+
+    def test_invalid_doubling_raises(self):
+        with pytest.raises(ValueError):
+            RetentionTemperatureModel(doubling_celsius=0.0)
+
+
+class TestGuardband:
+    def test_guardband_covers_target(self):
+        model = DEFAULT_TEMPERATURE_MODEL
+        # Test at a cool 45C for 64 ms operation at 85C with 2x margin.
+        test_interval = model.guardbanded_test_interval(
+            target_interval_ms=64.0, target_celsius=85.0,
+            test_celsius=45.0, guardband=2.0,
+        )
+        # The test interval, expressed at 85C, is twice the target.
+        at_target = model.scale_interval(test_interval, 45.0, 85.0)
+        assert at_target == pytest.approx(128.0)
+
+    def test_larger_guardband_longer_test(self):
+        model = DEFAULT_TEMPERATURE_MODEL
+        small = model.guardbanded_test_interval(64.0, 85.0, 45.0, 1.5)
+        large = model.guardbanded_test_interval(64.0, 85.0, 45.0, 3.0)
+        assert large > small
+
+    def test_guardband_below_one_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TEMPERATURE_MODEL.guardbanded_test_interval(
+                64.0, 85.0, 45.0, guardband=0.5,
+            )
+
+    def test_reference_constant(self):
+        assert REFERENCE_TEMPERATURE_C == 85.0

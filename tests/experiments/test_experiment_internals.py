@@ -1,0 +1,71 @@
+"""Micro-scale tests for the simulator-driven experiment internals.
+
+The full fig15/fig16/table3 sweeps run in the benchmark suite; these
+tests exercise their helper functions and registries directly with tiny
+inputs so the experiment code paths stay covered by the fast suite.
+"""
+
+import pytest
+
+from repro.experiments import fig15, fig16, table3
+from repro.sim.workloads import singlecore_workloads
+
+
+class TestFig15Internals:
+    def test_paper_targets_complete(self):
+        # Every (cores, reduction, density) combination has a target.
+        assert len(fig15.PAPER_IMPROVEMENT) == 12
+        for cores in (1, 4):
+            for reduction in fig15.REDUCTIONS:
+                for density in fig15.DENSITIES_GBIT:
+                    assert (cores, reduction, density) in fig15.PAPER_IMPROVEMENT
+
+    def test_improvement_targets_monotone_in_density(self):
+        for cores in (1, 4):
+            for reduction in fig15.REDUCTIONS:
+                values = [
+                    fig15.PAPER_IMPROVEMENT[(cores, reduction, d)]
+                    for d in fig15.DENSITIES_GBIT
+                ]
+                assert values == sorted(values)
+
+    def test_mean_speedup_single_workload(self):
+        mean = fig15._mean_speedup(
+            singlecore_workloads(1, seed=1), density=32, reduction=0.75,
+            window_ns=30_000.0, seed=1,
+        )
+        assert mean > 1.0
+
+
+class TestFig16Internals:
+    def test_mechanism_reductions_ordered(self):
+        reductions = [reduction for _, reduction, _ in fig16.MECHANISMS]
+        assert reductions == sorted(reductions)
+
+    def test_raidr_reduction_formula(self):
+        # 16% HI rows at 4:1 rate ratio -> 63%.
+        raidr = dict(
+            (label, reduction) for label, reduction, _ in fig16.MECHANISMS
+        )["RAIDR"]
+        assert raidr == pytest.approx(0.63)
+
+    def test_only_memcon_injects_tests(self):
+        testing = {
+            label: tests for label, _, tests in fig16.MECHANISMS
+        }
+        assert testing["MEMCON"] > 0
+        assert testing["32ms"] == testing["RAIDR"] == testing["64ms"] == 0
+
+
+class TestTable3Internals:
+    def test_paper_losses_monotone_in_tests(self):
+        for cores in (1, 4):
+            values = [
+                table3.PAPER_LOSS[(cores, n)]
+                for n in table3.CONCURRENT_TESTS
+            ]
+            assert values == sorted(values)
+
+    def test_multicore_losses_below_singlecore(self):
+        for n in table3.CONCURRENT_TESTS:
+            assert table3.PAPER_LOSS[(4, n)] < table3.PAPER_LOSS[(1, n)]

@@ -1,0 +1,34 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_single_experiment_prints_table(self, capsys):
+        assert main(["fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "560" in out
+
+    def test_out_file_written(self, tmp_path, capsys):
+        target = tmp_path / "results.md"
+        assert main(["fig06", "--out", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("```")
+        assert "min_write_interval_ms" in content
+
+    def test_out_file_appends(self, tmp_path, capsys):
+        target = tmp_path / "results.md"
+        main(["fig06", "--out", str(target)])
+        first = target.read_text()
+        main(["fig06", "--out", str(target)])
+        assert len(target.read_text()) == 2 * len(first)
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["fig06", "--seed", "7"]) == 0
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])

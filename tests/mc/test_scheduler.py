@@ -1,0 +1,115 @@
+"""Tests for FR-FCFS scheduling."""
+
+import pytest
+
+from repro.mc.bank import BankState
+from repro.mc.request import Request, RequestKind
+from repro.mc.scheduler import FrFcfsScheduler, SchedulerConfig
+
+
+def _req(kind=RequestKind.READ, bank=0, row=0, arrival=0.0, core=0):
+    return Request(kind=kind, core=core, bank=bank, row=row,
+                   arrival_ns=arrival)
+
+
+def _banks(n=4, open_rows=()):
+    banks = [BankState() for _ in range(n)]
+    for bank, row in open_rows:
+        banks[bank].open_row = row
+    return banks
+
+
+class TestPriorities:
+    def test_reads_before_writes(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(RequestKind.WRITE, row=1))
+        sched.enqueue(_req(RequestKind.READ, row=2))
+        choice = sched.next_request(_banks(), now_ns=0.0)
+        assert choice.kind is RequestKind.READ
+
+    def test_writes_served_when_no_reads(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(RequestKind.WRITE, row=1))
+        choice = sched.next_request(_banks(), now_ns=0.0)
+        assert choice.kind is RequestKind.WRITE
+
+    def test_test_traffic_is_lowest_priority(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(RequestKind.TEST, row=3))
+        sched.enqueue(_req(RequestKind.WRITE, row=1))
+        sched.enqueue(_req(RequestKind.READ, row=2))
+        kinds = [
+            sched.next_request(_banks(), now_ns=0.0).kind for _ in range(3)
+        ]
+        assert kinds == [RequestKind.READ, RequestKind.WRITE,
+                         RequestKind.TEST]
+
+    def test_write_drain_at_high_water_mark(self):
+        config = SchedulerConfig(write_queue_drain_threshold=2)
+        sched = FrFcfsScheduler(config)
+        sched.enqueue(_req(RequestKind.READ, row=9))
+        sched.enqueue(_req(RequestKind.WRITE, row=1))
+        sched.enqueue(_req(RequestKind.WRITE, row=2))
+        # Threshold reached: writes drain ahead of the read.
+        assert sched.next_request(_banks(), 0.0).kind is RequestKind.WRITE
+
+
+class TestFrFcfs:
+    def test_row_hit_preferred_over_older(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(bank=0, row=1, arrival=0.0))
+        sched.enqueue(_req(bank=0, row=7, arrival=1.0))
+        banks = _banks(open_rows=[(0, 7)])
+        assert sched.next_request(banks, now_ns=10.0).row == 7
+
+    def test_fcfs_without_hits(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(bank=0, row=1, arrival=0.0))
+        sched.enqueue(_req(bank=0, row=2, arrival=1.0))
+        assert sched.next_request(_banks(), now_ns=10.0).row == 1
+
+    def test_busy_bank_not_eligible(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(bank=0, row=1))
+        banks = _banks()
+        banks[0].ready_ns = 100.0
+        assert sched.next_request(banks, now_ns=50.0) is None
+        assert sched.next_request(banks, now_ns=100.0) is not None
+
+    def test_future_arrival_not_eligible(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(bank=0, row=1, arrival=500.0))
+        assert sched.next_request(_banks(), now_ns=100.0) is None
+
+    def test_earliest_issue_accounts_bank_and_arrival(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(bank=0, row=1, arrival=500.0))
+        sched.enqueue(_req(bank=1, row=2, arrival=0.0))
+        banks = _banks()
+        banks[1].ready_ns = 300.0
+        assert sched.earliest_issue_ns(banks, floor_ns=0.0) == 300.0
+
+    def test_earliest_issue_none_when_empty(self):
+        sched = FrFcfsScheduler()
+        assert sched.earliest_issue_ns(_banks(), floor_ns=0.0) is None
+
+
+class TestCapacity:
+    def test_read_queue_capacity(self):
+        config = SchedulerConfig(read_queue_capacity=2)
+        sched = FrFcfsScheduler(config)
+        assert sched.enqueue(_req(row=1))
+        assert sched.enqueue(_req(row=2))
+        assert not sched.enqueue(_req(row=3))
+
+    def test_test_queue_unbounded(self):
+        sched = FrFcfsScheduler(SchedulerConfig(read_queue_capacity=1))
+        for i in range(10):
+            assert sched.enqueue(_req(RequestKind.TEST, row=i))
+
+    def test_pending_counts_all_queues(self):
+        sched = FrFcfsScheduler()
+        sched.enqueue(_req(RequestKind.READ))
+        sched.enqueue(_req(RequestKind.WRITE))
+        sched.enqueue(_req(RequestKind.TEST))
+        assert sched.pending == 3

@@ -1,0 +1,130 @@
+"""Tests for the trace-driven CPU core model."""
+
+import pytest
+
+from repro.mc.request import Request, RequestKind
+from repro.sim.core import CoreConfig, TraceCore
+from repro.traces.spec import BenchmarkProfile, get_benchmark
+from repro.traces.content import ContentProfile
+
+
+def _bench(mpki, row_hit_rate=0.5, write_fraction=0.0):
+    return BenchmarkProfile(
+        name="synthetic", suite="spec",
+        content=ContentProfile("synthetic", {"zero": 1.0}),
+        mpki=mpki, row_hit_rate=row_hit_rate, write_fraction=write_fraction,
+    )
+
+
+class TestComputeBound:
+    def test_zero_mpki_never_issues(self):
+        core = TraceCore(0, _bench(mpki=0.0))
+        assert core.next_request(1e9) is None
+
+    def test_zero_mpki_ipc_is_peak(self):
+        core = TraceCore(0, _bench(mpki=0.0))
+        core.next_request(1000.0)
+        # No memory requests: the core would retire at peak width, but
+        # retirement is only accounted at request issue; instead verify
+        # the hint is None (nothing to wait for).
+        assert core.next_arrival_hint(0.0) is None
+
+
+class TestRequestGeneration:
+    def test_requests_spaced_by_misses(self):
+        core = TraceCore(0, _bench(mpki=10.0), seed=1)
+        requests = []
+        now = 0.0
+        while len(requests) < 50:
+            now += 10.0
+            request = core.next_request(now)
+            if request is not None:
+                requests.append(request)
+                core.complete_read(request, request.arrival_ns + 100.0)
+        gaps_inst = core.instructions_retired / len(requests)
+        assert gaps_inst == pytest.approx(100.0, rel=0.3)
+
+    def test_row_locality_repeats_location(self):
+        core = TraceCore(0, _bench(mpki=100.0, row_hit_rate=1.0), seed=2)
+        seen = set()
+        now = 0.0
+        for _ in range(20):
+            now += 100.0
+            request = core.next_request(now)
+            if request is None:
+                continue
+            seen.add((request.bank, request.row))
+            if request.kind is RequestKind.READ:
+                core.complete_read(request, now)
+        assert len(seen) == 1
+
+    def test_write_fraction_respected(self):
+        core = TraceCore(0, _bench(mpki=100.0, write_fraction=1.0), seed=3)
+        request = core.next_request(1e6)
+        assert request.kind is RequestKind.WRITE
+
+    def test_writes_do_not_occupy_window(self):
+        core = TraceCore(0, _bench(mpki=1000.0, write_fraction=1.0), seed=4)
+        for _ in range(50):
+            request = core.next_request(1e9)
+            assert request is not None
+        assert core.outstanding == 0
+
+
+class TestStalling:
+    def test_window_fills_and_blocks(self):
+        config = CoreConfig(max_outstanding=2)
+        core = TraceCore(0, _bench(mpki=1000.0), config=config, seed=5)
+        first = core.next_request(1e9)
+        second = core.next_request(1e9)
+        assert first is not None and second is not None
+        assert core.next_request(1e9) is None
+        assert core.stalled
+
+    def test_completion_unblocks_and_accrues_stall(self):
+        config = CoreConfig(max_outstanding=1)
+        core = TraceCore(0, _bench(mpki=1000.0), config=config, seed=6)
+        request = core.next_request(1e9)
+        assert core.next_request(1e9) is None
+        core.complete_read(request, request.arrival_ns + 500.0)
+        assert core.stall_ns == pytest.approx(500.0)
+        assert core.next_request(1e9) is not None
+
+    def test_stall_delays_next_issue(self):
+        config = CoreConfig(max_outstanding=1)
+        core = TraceCore(0, _bench(mpki=1000.0), config=config, seed=7)
+        request = core.next_request(1e9)
+        core.complete_read(request, request.arrival_ns + 500.0)
+        hint = core.next_arrival_hint(0.0)
+        assert hint >= request.arrival_ns + 500.0
+
+    def test_completion_for_other_core_raises(self):
+        core = TraceCore(0, _bench(mpki=10.0), seed=8)
+        foreign = Request(kind=RequestKind.READ, core=1, bank=0, row=0,
+                          arrival_ns=0.0)
+        with pytest.raises(ValueError):
+            core.complete_read(foreign, 10.0)
+
+    def test_completion_without_outstanding_raises(self):
+        core = TraceCore(0, _bench(mpki=10.0), seed=9)
+        own = Request(kind=RequestKind.READ, core=0, bank=0, row=0,
+                      arrival_ns=0.0)
+        with pytest.raises(RuntimeError):
+            core.complete_read(own, 10.0)
+
+
+class TestIpc:
+    def test_ipc_formula(self):
+        core = TraceCore(0, _bench(mpki=10.0), seed=10)
+        core.instructions_retired = 8000.0
+        # 1000 ns at 4 GHz = 4000 cycles.
+        assert core.ipc(1000.0) == pytest.approx(2.0)
+
+    def test_invalid_elapsed_raises(self):
+        core = TraceCore(0, _bench(mpki=10.0))
+        with pytest.raises(ValueError):
+            core.ipc(0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(width=0)

@@ -1,0 +1,79 @@
+"""Tests for multi-channel system simulation."""
+
+import pytest
+
+from repro.sim.metrics import speedup
+from repro.sim.system import SystemConfig, SystemSimulator, simulate_workload
+from repro.traces.spec import get_benchmark
+
+WINDOW_NS = 50_000.0
+MIX = ["mcf", "lbm", "omnetpp", "xalancbmk"]
+
+
+class TestMultiChannel:
+    def test_channel_count_validated(self):
+        with pytest.raises(ValueError):
+            SystemConfig(channels=0)
+
+    def test_controllers_per_channel(self):
+        sim = SystemSimulator(
+            [get_benchmark("mcf")], SystemConfig(channels=2),
+        )
+        assert len(sim.controllers) == 2
+        assert sim.controller is sim.controllers[0]
+
+    def test_requests_route_by_channel(self):
+        result = simulate_workload(MIX, window_ns=WINDOW_NS, channels=2,
+                                   seed=3)
+        assert all(core.reads_completed > 0 for core in result.cores)
+
+    def test_two_channels_raise_multicore_throughput(self):
+        one = simulate_workload(MIX, density_gbit=32, window_ns=WINDOW_NS,
+                                seed=5)
+        two = simulate_workload(MIX, density_gbit=32, window_ns=WINDOW_NS,
+                                channels=2, seed=5)
+        assert two.mean_ipc > one.mean_ipc
+
+    def test_single_core_insensitive_to_extra_channels(self):
+        # One core with moderate MLP cannot saturate even one channel's
+        # bandwidth by much; a second channel moves IPC only mildly.
+        one = simulate_workload(["gcc"], window_ns=WINDOW_NS, seed=5)
+        two = simulate_workload(["gcc"], window_ns=WINDOW_NS, channels=2,
+                                seed=5)
+        assert two.cores[0].ipc == pytest.approx(one.cores[0].ipc, rel=0.25)
+
+    def test_refreshes_counted_across_channels(self):
+        one = simulate_workload(["mcf"], window_ns=WINDOW_NS, seed=5)
+        two = simulate_workload(["mcf"], window_ns=WINDOW_NS, channels=2,
+                                seed=5)
+        assert two.refreshes_issued == pytest.approx(
+            2 * one.refreshes_issued, rel=0.05
+        )
+
+    def test_refresh_busy_fraction_is_per_channel(self):
+        # Duty cycle is a property of tRFC/tREFI, independent of channels.
+        one = simulate_workload(["perlbench"], density_gbit=32,
+                                window_ns=WINDOW_NS, seed=5)
+        two = simulate_workload(["perlbench"], density_gbit=32,
+                                window_ns=WINDOW_NS, channels=2, seed=5)
+        assert two.refresh_busy_fraction == pytest.approx(
+            one.refresh_busy_fraction, abs=0.02
+        )
+
+    def test_test_traffic_split_across_channels(self):
+        sim = SystemSimulator(
+            [get_benchmark("mcf")],
+            SystemConfig(channels=2),
+        )
+        # 0 concurrent tests by default: no injection either way.
+        for controller in sim.controllers:
+            assert controller.test_traffic.concurrent_tests == 0
+
+    def test_second_channel_absorbs_test_traffic(self):
+        free = simulate_workload(MIX, refresh_reduction=0.66,
+                                 window_ns=WINDOW_NS, channels=2, seed=5)
+        testing = simulate_workload(MIX, refresh_reduction=0.66,
+                                    concurrent_tests=1024,
+                                    window_ns=WINDOW_NS, channels=2, seed=5)
+        loss = 1.0 - speedup(testing, free)
+        assert loss < 0.01  # the paper's near-zero 4-core overhead

@@ -1,0 +1,67 @@
+"""Tests for workload mixes and performance metrics."""
+
+import pytest
+
+from repro.sim.metrics import geometric_mean, harmonic_mean
+from repro.sim.workloads import multicore_mixes, singlecore_workloads
+from repro.traces.spec import BENCHMARKS
+
+
+class TestMixes:
+    def test_default_shape(self):
+        mixes = multicore_mixes()
+        assert len(mixes) == 30
+        assert all(len(mix) == 4 for mix in mixes)
+
+    def test_no_duplicates_within_mix(self):
+        for mix in multicore_mixes():
+            assert len(set(mix)) == 4
+
+    def test_all_names_valid(self):
+        for mix in multicore_mixes():
+            assert all(name in BENCHMARKS for name in mix)
+
+    def test_deterministic_per_seed(self):
+        assert multicore_mixes(seed=5) == multicore_mixes(seed=5)
+        assert multicore_mixes(seed=5) != multicore_mixes(seed=6)
+
+    def test_singlecore_shape(self):
+        workloads = singlecore_workloads(10)
+        assert len(workloads) == 10
+        assert all(len(w) == 1 for w in workloads)
+
+    def test_singlecore_cycles_through_pool(self):
+        workloads = singlecore_workloads(30)
+        names = [w[0] for w in workloads]
+        assert len(set(names)) == 22  # full pool before repeating
+
+    def test_invalid_counts_raise(self):
+        with pytest.raises(ValueError):
+            multicore_mixes(0)
+        with pytest.raises(ValueError):
+            singlecore_workloads(0)
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([3.0]) == 3.0
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_harmonic_below_geometric(self):
+        values = [1.1, 1.5, 2.0]
+        assert harmonic_mean(values) < geometric_mean(values)
+
+    @pytest.mark.parametrize("fn", [geometric_mean, harmonic_mean])
+    def test_empty_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+
+    @pytest.mark.parametrize("fn", [geometric_mean, harmonic_mean])
+    def test_non_positive_raises(self, fn):
+        with pytest.raises(ValueError):
+            fn([1.0, 0.0])

@@ -1,0 +1,71 @@
+"""Tests for the HMTT-style bus tracer."""
+
+import pytest
+
+from repro.testinfra.hmtt import BusEvent, BusTracer, capture_workload
+from repro.traces.workloads import WORKLOADS
+
+
+class TestBusTracer:
+    def test_records_writes(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0)
+        tracer.record(BusEvent(time_ms=1.0, page=3, is_write=True))
+        tracer.record(BusEvent(time_ms=2.0, page=3, is_write=True))
+        trace = tracer.finish()
+        assert list(trace.writes[3]) == [1.0, 2.0]
+
+    def test_reads_counted_not_stored(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0)
+        tracer.record(BusEvent(time_ms=1.0, page=3, is_write=False))
+        assert tracer.events_recorded == 1
+        assert 3 not in tracer.finish().writes
+
+    def test_warmup_events_dropped(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0, warmup_ms=10.0)
+        tracer.record(BusEvent(time_ms=5.0, page=0, is_write=True))
+        tracer.record(BusEvent(time_ms=15.0, page=0, is_write=True))
+        trace = tracer.finish()
+        assert tracer.events_dropped == 1
+        assert list(trace.writes[0]) == [5.0]  # 15 ms - 10 ms warmup
+
+    def test_post_window_events_dropped(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0)
+        tracer.record(BusEvent(time_ms=150.0, page=0, is_write=True))
+        assert tracer.events_dropped == 1
+
+    def test_out_of_range_page_raises(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0)
+        with pytest.raises(ValueError, match="page"):
+            tracer.record(BusEvent(time_ms=1.0, page=9, is_write=True))
+
+    def test_unsorted_arrivals_sorted_in_trace(self):
+        tracer = BusTracer(total_pages=8, duration_ms=100.0)
+        tracer.record(BusEvent(time_ms=9.0, page=1, is_write=True))
+        tracer.record(BusEvent(time_ms=3.0, page=1, is_write=True))
+        assert list(tracer.finish().writes[1]) == [3.0, 9.0]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"total_pages": 0, "duration_ms": 1.0},
+        {"total_pages": 1, "duration_ms": 0.0},
+        {"total_pages": 1, "duration_ms": 1.0, "warmup_ms": -1.0},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            BusTracer(**kwargs)
+
+
+class TestCaptureWorkload:
+    def test_capture_matches_profile_shape(self):
+        profile = WORKLOADS["BlurMotion"]
+        trace = capture_workload(profile, seed=1)
+        assert trace.total_pages == profile.n_pages
+        assert trace.duration_ms == profile.duration_ms
+        assert trace.n_writes > 0
+        assert trace.name == profile.name
+
+    def test_warmup_shifts_capture(self):
+        profile = WORKLOADS["BlurMotion"]
+        plain = capture_workload(profile, seed=1)
+        warm = capture_workload(profile, seed=1, warmup_ms=1000.0)
+        # Same underlying stream, different window: counts differ slightly.
+        assert abs(warm.n_writes - plain.n_writes) < 0.5 * plain.n_writes

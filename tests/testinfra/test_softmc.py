@@ -1,0 +1,98 @@
+"""Tests for the SoftMC-style retention tester."""
+
+import numpy as np
+import pytest
+
+from repro.testinfra.patterns import SOLID_0, random_pattern
+from repro.testinfra.softmc import SoftMCTester
+
+
+@pytest.fixture
+def tester(dense_fault_device):
+    return SoftMCTester(dense_fault_device)
+
+
+class TestRetentionProtocol:
+    def test_time_advances_by_interval(self, tester):
+        tester.fill_pattern(SOLID_0)
+        assert tester.now_ms == 0.0
+        tester.run_retention_test(328.0)
+        assert tester.now_ms == 328.0
+
+    def test_report_covers_all_rows_by_default(self, tester):
+        report = tester.test_pattern(SOLID_0, 328.0)
+        assert report.rows_tested == tester.device.geometry.total_rows
+
+    def test_row_subset(self, tester):
+        report = tester.test_pattern(random_pattern(1), 328.0, rows=[0, 1, 2])
+        assert report.rows_tested == 3
+        assert all(f.row_index in (0, 1, 2) for f in report.failures)
+
+    def test_random_content_fails_more_than_zeros(self, tester):
+        zeros = tester.test_pattern(SOLID_0, 1000.0)
+        random = tester.test_pattern(random_pattern(1), 1000.0)
+        assert len(random.failures) > len(zeros.failures)
+
+    def test_longer_interval_more_failures(self, tester):
+        short = tester.test_pattern(random_pattern(1), 150.0)
+        long = tester.test_pattern(random_pattern(1), 3000.0)
+        assert len(long.failures) >= len(short.failures)
+        assert len(long.failures) > 0
+
+    def test_failures_report_expected_and_observed(self, tester):
+        report = tester.test_pattern(random_pattern(2), 2000.0)
+        for failure in report.failures:
+            assert failure.expected != failure.observed
+            assert failure.expected in (0, 1)
+
+    def test_failing_rows_sorted_unique(self, tester):
+        report = tester.test_pattern(random_pattern(2), 2000.0)
+        rows = report.failing_rows
+        assert rows == sorted(set(rows))
+
+    def test_failing_row_fraction(self, tester):
+        report = tester.test_pattern(random_pattern(2), 2000.0)
+        assert report.failing_row_fraction == (
+            len(report.failing_rows) / report.rows_tested
+        )
+
+    def test_failures_in_row_filter(self, tester):
+        report = tester.test_pattern(random_pattern(2), 2000.0)
+        if report.failing_rows:
+            row = report.failing_rows[0]
+            assert all(
+                f.row_index == row for f in report.failures_in_row(row)
+            )
+
+    def test_invalid_interval_raises(self, tester):
+        with pytest.raises(ValueError):
+            tester.run_retention_test(0.0)
+
+
+class TestContentFill:
+    def test_fill_content_direct(self, tester):
+        image = {0: bytes([0xFF] * 512), 5: bytes([0x0F] * 512)}
+        written = tester.fill_content(image)
+        assert written == [0, 5]
+        assert tester.device.cells.read_row_bytes(5) == image[5]
+
+    def test_fill_content_replicated_covers_module(self, tester):
+        image = {0: bytes([0xAA] * 512), 1: bytes([0x55] * 512)}
+        written = tester.fill_content(image, replicate=True)
+        assert len(written) == tester.device.geometry.total_rows
+        assert tester.device.cells.read_row_bytes(2) == image[0]
+        assert tester.device.cells.read_row_bytes(3) == image[1]
+
+    def test_empty_content_raises(self, tester):
+        with pytest.raises(ValueError):
+            tester.fill_content({})
+
+    def test_test_content_end_to_end(self, tester):
+        rng = np.random.default_rng(0)
+        image = {
+            i: rng.integers(0, 256, 512, dtype=np.uint8).tobytes()
+            for i in range(4)
+        }
+        report = tester.test_content(image, 2000.0)
+        assert report.rows_tested == tester.device.geometry.total_rows
+        assert len(report.failures) > 0

@@ -1,0 +1,69 @@
+"""Statistical conformance of generated traces to the paper's targets.
+
+Heavier than the unit tests in test_generator.py: checks, per sampled
+workload, the paper's headline trace statistics on a reduced window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_pareto, time_in_long_intervals
+from repro.core import MemconConfig, simulate_refresh_reduction
+from repro.traces.generator import generate_trace
+from repro.traces.workloads import WORKLOADS
+
+SAMPLED = ("ACBrotherHood", "Netflix", "SystemMgt", "VideoEncode")
+WINDOW_MS = 40_000.0
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: generate_trace(WORKLOADS[name], seed=1, duration_ms=WINDOW_MS)
+        for name in SAMPLED
+    }
+
+
+class TestPaperTraceTargets:
+    @pytest.mark.parametrize("name", SAMPLED)
+    def test_sub_ms_write_majority(self, traces, name):
+        """Paper Fig. 7: >95% of writes within 1 ms."""
+        intervals = traces[name].all_intervals()
+        assert np.mean(intervals < 1.0) > 0.94
+
+    @pytest.mark.parametrize("name", SAMPLED)
+    def test_long_intervals_rare_by_count(self, traces, name):
+        """Paper Fig. 7: long intervals are a tiny fraction of writes."""
+        intervals = traces[name].all_intervals()
+        assert np.mean(intervals >= 1024.0) < 0.02
+
+    @pytest.mark.parametrize("name", SAMPLED)
+    def test_pareto_tail_quality(self, traces, name):
+        """Paper Fig. 8: log-log CCDF linear with R^2 >= 0.93."""
+        trace = traces[name]
+        intervals = trace.all_intervals()
+        fit = fit_pareto(
+            intervals[intervals >= 2.0], x_min=2.0,
+            x_max=trace.duration_ms / 40,
+        )
+        assert fit.r_squared > 0.93
+        assert 0.2 < fit.alpha < 1.2
+
+    @pytest.mark.parametrize("name", SAMPLED)
+    def test_time_dominated_by_long_intervals(self, traces, name):
+        """Paper Fig. 9: >=1024 ms intervals hold most interval time."""
+        assert time_in_long_intervals(traces[name]) > 0.80
+
+    @pytest.mark.parametrize("name", SAMPLED)
+    def test_refresh_reduction_in_band(self, traces, name):
+        """Paper Fig. 14: MEMCON reduction in the 55-75% band."""
+        report = simulate_refresh_reduction(
+            traces[name], MemconConfig(quantum_ms=1024.0),
+            failing_page_fraction=0.02, seed=1,
+        )
+        assert 0.55 < report.refresh_reduction < 0.75
+
+    def test_workloads_differ_from_each_other(self, traces):
+        """Per-app calibration should produce distinct statistics."""
+        counts = {name: trace.n_writes for name, trace in traces.items()}
+        assert len(set(counts.values())) == len(counts)

@@ -1,0 +1,46 @@
+"""Tests for trace (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.traces.events import WriteTrace
+from repro.traces.generator import generate_trace
+from repro.traces.io import load_trace, save_trace
+from repro.traces.workloads import WORKLOADS
+
+
+class TestRoundtrip:
+    def test_literal_trace(self, tmp_path, trace_factory):
+        trace = trace_factory({0: [1.0, 2.5], 7: [9.0]}, name="lit")
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.duration_ms == trace.duration_ms
+        assert loaded.total_pages == trace.total_pages
+        assert loaded.name == "lit"
+        assert set(loaded.writes) == {0, 7}
+        for page in trace.writes:
+            assert np.array_equal(loaded.writes[page], trace.writes[page])
+
+    def test_generated_trace(self, tmp_path):
+        trace = generate_trace(WORKLOADS["BlurMotion"], seed=2,
+                               duration_ms=5_000.0)
+        path = tmp_path / "blur.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.n_writes == trace.n_writes
+        assert np.array_equal(
+            loaded.all_intervals(), trace.all_intervals()
+        )
+
+    def test_empty_trace(self, tmp_path, trace_factory):
+        trace = trace_factory({})
+        path = tmp_path / "empty.npz"
+        save_trace(trace, path)
+        assert load_trace(path).n_writes == 0
+
+    def test_non_trace_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.arange(4))
+        with pytest.raises(ValueError, match="not a saved write trace"):
+            load_trace(path)

@@ -1,0 +1,64 @@
+"""Tests for the SPEC/TPC benchmark registry."""
+
+import pytest
+
+from repro.traces.spec import (
+    BENCHMARKS,
+    FIGURE4_BENCHMARKS,
+    BenchmarkProfile,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.traces.content import ContentProfile
+
+
+class TestRegistry:
+    def test_twenty_spec_plus_two_tpc(self):
+        assert len(benchmark_names("spec")) == 20
+        assert len(benchmark_names("tpc")) == 2
+        assert len(BENCHMARKS) == 22
+
+    def test_figure4_lists_exactly_the_spec_benchmarks(self):
+        assert len(FIGURE4_BENCHMARKS) == 20
+        assert set(FIGURE4_BENCHMARKS) == set(benchmark_names("spec"))
+
+    def test_memory_intensive_benchmarks(self):
+        # mcf is famously the most memory-intensive SPEC CPU2006 workload.
+        assert BENCHMARKS["mcf"].mpki > BENCHMARKS["perlbench"].mpki
+        assert BENCHMARKS["mcf"].mpki > 50
+
+    def test_content_profiles_attached(self):
+        for bench in BENCHMARKS.values():
+            assert isinstance(bench.content, ContentProfile)
+
+    def test_sparse_vs_dense_content(self):
+        # perlbench is the zero-heavy end, lbm the dense-float end (Fig 4).
+        assert BENCHMARKS["perlbench"].content.mixture["zero"] >= 0.8
+        assert BENCHMARKS["lbm"].content.mixture["floatdata"] >= 0.8
+
+    def test_lookup(self):
+        assert get_benchmark("lbm") is BENCHMARKS["lbm"]
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("doom")
+
+    def test_names_match_keys(self):
+        assert all(n == b.name for n, b in BENCHMARKS.items())
+
+
+class TestValidation:
+    def _content(self):
+        return ContentProfile("c", {"zero": 1.0})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mpki": -1.0},
+        {"row_hit_rate": 1.5},
+        {"write_fraction": -0.1},
+    ])
+    def test_invalid_profile_raises(self, kwargs):
+        base = dict(name="x", suite="spec", content=self._content(),
+                    mpki=1.0, row_hit_rate=0.5, write_fraction=0.3)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            BenchmarkProfile(**base)
