@@ -1,6 +1,12 @@
 """Statistical analysis: Pareto fitting and write-interval metrics."""
 
-from .coverage import PredictionQuality, accuracy_coverage_tradeoff, evaluate_predictor
+from .coverage import (
+    ContentFailureCoverage,
+    PredictionQuality,
+    accuracy_coverage_tradeoff,
+    content_failure_coverage,
+    evaluate_predictor,
+)
 from .intervals import (
     CIL_GRID_MS,
     INTERVAL_BUCKETS_MS,
@@ -25,6 +31,7 @@ from .pareto import (
 
 __all__ = [
     "CIL_GRID_MS",
+    "ContentFailureCoverage",
     "INTERVAL_BUCKETS_MS",
     "IntervalDistribution",
     "LONG_INTERVAL_MS",
@@ -33,6 +40,7 @@ __all__ = [
     "PredictionQuality",
     "dhr_increase_with_cil",
     "accuracy_coverage_tradeoff",
+    "content_failure_coverage",
     "coverage_curve",
     "empirical_ccdf",
     "evaluate_predictor",

@@ -21,16 +21,39 @@ Two implementations of the same mechanism:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..dram.cell_array import CellArray
 from ..dram.timing import HI_REF_INTERVAL_MS, LO_REF_INTERVAL_MS, DDR3_1600
 from ..traces.events import WriteTrace
 from .costmodel import TestMode, test_cost_ns
 from .pril import PrilPredictor
 from .refresh import RefreshLedger, RefreshState
 from .testing import RowTestEngine
+
+
+def content_fail_batch(
+    cells: CellArray,
+    refresh_interval_ms: float,
+    page_to_row: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Callable[[Sequence[int]], np.ndarray]:
+    """Batch test-outcome predicate backed by the *current* memory content.
+
+    Returns ``fails(pages) -> bool array`` answered by the vectorised
+    fault-evaluation engine (:meth:`CellArray.evaluate_rows`), so the
+    controller can classify, e.g., every read-only page of a module in one
+    pass instead of one device-level row test per page. ``page_to_row``
+    translates page numbers to flat DRAM rows (identity by default).
+    """
+
+    def fails(pages: Sequence[int]) -> np.ndarray:
+        pages = np.asarray(pages, dtype=np.int64)
+        rows = page_to_row(pages) if page_to_row is not None else pages
+        return cells.evaluate_rows(rows, refresh_interval_ms)
+
+    return fails
 
 
 @dataclass
@@ -229,12 +252,16 @@ class MemconController:
         config: Optional[MemconConfig] = None,
         test_engine: Optional[RowTestEngine] = None,
         fails: Optional[Callable[[int], bool]] = None,
+        fails_batch: Optional[Callable[[Sequence[int]], np.ndarray]] = None,
         buffer_capacity: Optional[int] = None,
     ) -> None:
         if total_pages <= 0:
             raise ValueError("total_pages must be positive")
         self.config = config or MemconConfig()
         self.total_pages = total_pages
+        self._fails_batch = fails_batch
+        if fails is None and fails_batch is not None:
+            fails = lambda page: bool(fails_batch([page])[0])
         self.pril = PrilPredictor(
             quantum_ms=self.config.quantum_ms,
             buffer_capacity=buffer_capacity,
@@ -313,16 +340,23 @@ class MemconController:
                 if rng.random() < failing_page_fraction
             }
             self._fails = lambda page: page in failing
-        # Read-only pages: tested once at start-up.
+        # Read-only pages: tested once at start-up. With a batch predicate
+        # the whole module is classified in one vectorised pass.
         if cfg.test_read_only_pages:
             written = {p for p, t in trace.writes.items() if len(t)}
-            for page in range(self.total_pages):
-                if page in written:
-                    continue
+            read_only = [p for p in range(self.total_pages) if p not in written]
+            if self._fails_batch is not None and not failing_page_fraction:
+                outcomes = np.asarray(self._fails_batch(read_only), dtype=bool)
+            else:
+                outcomes = np.fromiter(
+                    (self._fails(page) for page in read_only),
+                    bool, len(read_only),
+                )
+            for page, failed in zip(read_only, outcomes):
                 self.tests_total += 1
                 self.tests_correct += 1
                 self.ledger.set_state(page, RefreshState.TESTING, 0.0)
-                if self._fails(page):
+                if failed:
                     self.tests_failed += 1
                     self.ledger.set_state(
                         page, RefreshState.HI_REF, cfg.test_duration_ms

@@ -136,9 +136,56 @@ class CellArray:
             row_index, self.silicon_row(row_index), refresh_interval_ms
         )
 
+    def failing_mask(self, row_index: int, refresh_interval_ms: float) -> np.ndarray:
+        """Failure mask over the row's vulnerable cells, current content."""
+        return self.fault_map.failing_mask(
+            row_index, self.silicon_row(row_index), refresh_interval_ms
+        )
+
     def row_fails(self, row_index: int, refresh_interval_ms: float) -> bool:
         """Does the row lose at least one bit at this refresh interval?"""
-        return bool(self.failing_cells(row_index, refresh_interval_ms))
+        return bool(self.failing_mask(row_index, refresh_interval_ms).any())
+
+    def evaluate_rows(
+        self,
+        rows: Optional[Iterable[int]],
+        refresh_interval_ms: float,
+        chunk_rows: int = 1024,
+    ) -> np.ndarray:
+        """Which rows fail with their *current* content, batch-evaluated.
+
+        ``rows=None`` evaluates the whole module. Never-written rows all
+        share the default all-zeros image, so they are answered with one
+        shared silicon row; written rows are pushed through the vendor
+        mapping in chunks of ``chunk_rows`` to bound peak memory. Returns a
+        boolean array aligned with ``rows``.
+        """
+        if rows is None:
+            rows = np.arange(self.geometry.total_rows, dtype=np.int64)
+        else:
+            rows = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows,
+                              dtype=np.int64)
+        out = np.zeros(len(rows), dtype=bool)
+        if len(rows) == 0:
+            return out
+        written = np.fromiter(
+            (int(r) in self._rows for r in rows), bool, len(rows)
+        )
+        unwritten_pos = np.flatnonzero(~written)
+        if len(unwritten_pos):
+            zero_silicon = self.vendor_mapping.to_silicon(self._zero_row)
+            out[unwritten_pos] = self.fault_map.rows_fail(
+                rows[unwritten_pos], zero_silicon, refresh_interval_ms
+            )
+        written_pos = np.flatnonzero(written)
+        for start in range(0, len(written_pos), chunk_rows):
+            pos = written_pos[start: start + chunk_rows]
+            stacked = np.stack([self._rows[int(r)] for r in rows[pos]])
+            silicon = self.vendor_mapping.to_silicon_batch(stacked)
+            out[pos] = self.fault_map.rows_fail(
+                rows[pos], silicon, refresh_interval_ms
+            )
+        return out
 
     def decay_row(self, row_index: int, refresh_interval_ms: float) -> np.ndarray:
         """Content after an idle retention window, in system bit order.
@@ -147,10 +194,10 @@ class CellArray:
         back to system order — what a read-back after the idle period sees.
         """
         physical = self.vendor_mapping.to_silicon(self.read_row_bits(row_index))
-        for cell in self.fault_map.failing_cells(
+        flipped = self.fault_map.failing_columns(
             row_index, physical, refresh_interval_ms
-        ):
-            physical[cell.physical_column] ^= 1
+        )
+        physical[flipped] ^= 1
         return self.vendor_mapping.from_silicon(physical)
 
     def _check_row(self, row_index: int) -> None:

@@ -22,15 +22,95 @@ measures (Figure 3), and makes the whole library unit-testable.
 All neighbour relations are computed in *physical* column order (after
 vendor scrambling and column remapping), which is precisely why the system
 cannot enumerate these failures without knowing DRAM internals.
+
+Population draws use a counter-based generator (SplitMix64 sub-streams
+keyed by chip seed, row, and draw purpose) rather than a sequential RNG,
+so that
+
+* any batch of rows can be generated in one vectorised pass — generating
+  row 1000 alone and generating rows 0..4095 together yield bit-identical
+  populations, and
+* row polarity, cell count, cell positions and cell thresholds live on
+  *independent* sub-streams: none of them can correlate through a shared
+  draw (the per-row-RNG design this replaced fed the polarity draw and the
+  first cell draw from the same stream position).
+
+Row populations are stored as structured ndarrays (sorted physical
+columns + aligned thresholds), so failure evaluation for a whole row — or
+a whole module — is a handful of array operations instead of a per-cell
+Python loop. The object-returning methods (:meth:`FaultMap.cells_in_row`,
+:meth:`FaultMap.failing_cells`) are thin wrappers over the arrays, and
+:meth:`FaultMap.cell_fails` keeps the scalar per-cell evaluation as the
+reference oracle the vectorised paths are property-tested against.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+# ----------------------------------------------------------------------
+# Counter-based RNG substrate (SplitMix64 sub-streams)
+# ----------------------------------------------------------------------
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX_A = _U64(0xBF58476D1CE4E5B9)
+_MIX_B = _U64(0x94D049BB133111EB)
+#: Dedicated sub-stream tags: one per kind of draw, so no two draws of a
+#: row can share randomness (the polarity/cell-layout independence fix).
+_TAG_POLARITY = _U64(0x7010101010101013)
+_TAG_COUNT = _U64(0xC0C0C0C0C0C0C0C5)
+_TAG_COLUMN = _U64(0x51515151515151B7)
+_TAG_THRESH_U1 = _U64(0x1111111111111169)
+_TAG_THRESH_U2 = _U64(0x2222222222222285)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a bijective avalanche mix on uint64."""
+    x = np.asarray(x, dtype=_U64)
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> _U64(30))) * _MIX_A
+        x = (x ^ (x >> _U64(27))) * _MIX_B
+        return x ^ (x >> _U64(31))
+
+
+def _unit(h: np.ndarray) -> np.ndarray:
+    """Map uint64 hashes to uniform doubles in [0, 1)."""
+    return (np.asarray(h, dtype=_U64) >> _U64(11)) * (1.0 / (1 << 53))
+
+
+def _binomial_quantile(u: np.ndarray, n: int, p: float) -> np.ndarray:
+    """Vectorised inverse-CDF of Binomial(n, p): smallest k with u < cdf(k).
+
+    The pmf recurrence walks the CDF upward for all rows simultaneously;
+    with the tiny per-cell rates this model uses, the walk terminates after
+    a handful of steps. Iterations are capped at mean + 12 sigma (clamped
+    to ``n``), which truncates only probability mass below ~1e-20 and keeps
+    the result a pure function of ``u`` (batch-composition independent).
+    """
+    u = np.asarray(u, dtype=np.float64)
+    k = np.zeros(u.shape, dtype=np.int64)
+    if p <= 0.0 or n <= 0:
+        return k
+    if p >= 1.0:
+        return np.full(u.shape, n, dtype=np.int64)
+    pmf = np.full(u.shape, math.exp(n * math.log1p(-p)))
+    cdf = pmf.copy()
+    ratio = p / (1.0 - p)
+    cap = min(n, int(n * p + 12.0 * math.sqrt(n * p * (1.0 - p)) + 32.0))
+    for _ in range(cap):
+        active = u >= cdf
+        if not active.any():
+            break
+        ka = k[active]
+        pmf[active] *= ratio * (n - ka) / (ka + 1.0)
+        cdf[active] += pmf[active]
+        k[active] += 1
+    return k
 
 
 @dataclass(frozen=True)
@@ -89,12 +169,29 @@ class VulnerableCell:
     true_cell: bool       # polarity: True -> charge encodes logic 1
 
 
+@dataclass(frozen=True)
+class RowPopulation:
+    """One row's vulnerable cells as aligned arrays (columns sorted)."""
+
+    columns: np.ndarray     # int64, sorted ascending
+    thresholds: np.ndarray  # float64, aligned with columns
+    true_cell: bool         # row polarity
+    min_threshold: float    # inf when the row has no vulnerable cells
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+_EMPTY_COLUMNS = np.empty(0, dtype=np.int64)
+_EMPTY_THRESHOLDS = np.empty(0, dtype=np.float64)
+
+
 class FaultMap:
     """The vulnerable-cell population of one DRAM module.
 
-    Generated lazily per row so that module-scale populations (hundreds of
-    thousands of rows) stay cheap: rows without vulnerable cells cost one
-    RNG draw.
+    Generated lazily — and, through the batch APIs, for arbitrarily many
+    rows per vectorised pass — so module-scale populations (hundreds of
+    thousands of rows) stay cheap.
     """
 
     def __init__(
@@ -110,55 +207,157 @@ class FaultMap:
         self.bits_per_row = bits_per_row
         self.config = config
         self.seed = seed
+        self._seed_base = _mix64(np.array(seed & _MASK64, dtype=_U64))
+        self._populations: Dict[int, RowPopulation] = {}
         self._rows: Dict[int, Tuple[VulnerableCell, ...]] = {}
-        self._row_polarity: Dict[int, bool] = {}
 
     # ------------------------------------------------------------------
-    def _row_rng(self, row_index: int) -> np.random.Generator:
-        return np.random.default_rng((self.seed << 24) ^ (row_index * 2654435761 % (1 << 48)))
+    # Population generation (counter-based, batch-vectorised)
+    # ------------------------------------------------------------------
+    def _row_base(self, rows: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            return _mix64(self._seed_base ^ (rows.astype(_U64) * _GOLDEN))
+
+    def _ensure_rows(self, rows: np.ndarray) -> None:
+        missing = [int(r) for r in np.unique(rows) if int(r) not in self._populations]
+        if missing:
+            self._generate_rows(np.asarray(missing, dtype=np.int64))
+
+    def _generate_rows(self, rows: np.ndarray) -> None:
+        """Generate populations for (unique, uncached) ``rows`` in one pass."""
+        cfg = self.config
+        base = self._row_base(rows)
+        true_cell = _unit(_mix64(base ^ _TAG_POLARITY)) < cfg.true_cell_row_fraction
+        counts = _binomial_quantile(
+            _unit(_mix64(base ^ _TAG_COUNT)),
+            self.bits_per_row,
+            cfg.vulnerable_cell_rate,
+        )
+
+        nz = np.flatnonzero(counts)
+        columns_by_row: Dict[int, np.ndarray] = {}
+        thresholds_by_row: Dict[int, np.ndarray] = {}
+        if len(nz):
+            nz_counts = counts[nz]
+            total = int(nz_counts.sum())
+            # (row, j) pair coordinates for every cell to draw.
+            pair_pos = np.repeat(np.arange(len(nz)), nz_counts)
+            starts = np.cumsum(nz_counts) - nz_counts
+            j = np.arange(total, dtype=np.int64) - np.repeat(starts, nz_counts)
+            pair_base = base[nz][pair_pos]
+            cols = self._draw_columns(pair_base, pair_pos, j, nz_counts)
+            thresholds = self._draw_thresholds(pair_base, j)
+            # Sort each row's cells by physical column, thresholds aligned.
+            order = np.lexsort((cols, pair_pos))
+            cols, thresholds, pair_pos = cols[order], thresholds[order], pair_pos[order]
+            bounds = np.cumsum(nz_counts)
+            for i, row_pos in enumerate(nz):
+                lo, hi = bounds[i] - nz_counts[i], bounds[i]
+                columns_by_row[int(rows[row_pos])] = cols[lo:hi]
+                thresholds_by_row[int(rows[row_pos])] = thresholds[lo:hi]
+
+        for i, row in enumerate(rows):
+            row = int(row)
+            columns = columns_by_row.get(row, _EMPTY_COLUMNS)
+            thresholds = thresholds_by_row.get(row, _EMPTY_THRESHOLDS)
+            self._populations[row] = RowPopulation(
+                columns=columns,
+                thresholds=thresholds,
+                true_cell=bool(true_cell[i]),
+                min_threshold=float(thresholds.min()) if len(thresholds) else math.inf,
+            )
+
+    def _draw_columns(
+        self,
+        pair_base: np.ndarray,
+        pair_pos: np.ndarray,
+        j: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Distinct column draws per row (rejection on intra-row collisions).
+
+        A cell's draw is rejected iff it matches the column of a
+        lower-``j`` cell of the same row, and redrawn on the next counter
+        value — a rule that depends only on the row's own draws, keeping
+        the result independent of how rows are batched.
+        """
+        attempts = np.zeros(len(j), dtype=np.int64)
+        cols = np.empty(len(j), dtype=np.int64)
+        pending = np.arange(len(j))
+        while len(pending):
+            with np.errstate(over="ignore"):
+                h = _mix64(
+                    pair_base[pending]
+                    ^ _TAG_COLUMN
+                    ^ _mix64(
+                        (j[pending].astype(_U64) << _U64(32))
+                        + attempts[pending].astype(_U64)
+                    )
+                )
+            cols[pending] = (_unit(h) * self.bits_per_row).astype(np.int64)
+            # A draw collides when an earlier-j cell of the same row holds
+            # the same column; later-j duplicates redraw.
+            order = np.lexsort((j, cols, pair_pos))
+            sorted_pos = pair_pos[order]
+            sorted_cols = cols[order]
+            dup = np.zeros(len(j), dtype=bool)
+            same = (sorted_pos[1:] == sorted_pos[:-1]) & (
+                sorted_cols[1:] == sorted_cols[:-1]
+            )
+            dup[order[1:][same]] = True
+            pending = np.flatnonzero(dup)
+            attempts[pending] += 1
+        return cols
+
+    def _draw_thresholds(self, pair_base: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Lognormal threshold per cell via Box-Muller on hashed uniforms."""
+        with np.errstate(over="ignore"):
+            key = _mix64(j.astype(_U64) << _U64(32))
+            u1 = _unit(_mix64(pair_base ^ _TAG_THRESH_U1 ^ key)) + 2.0 ** -53
+            u2 = _unit(_mix64(pair_base ^ _TAG_THRESH_U2 ^ key))
+        z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * math.pi * u2)
+        return np.exp(self.config.threshold_sigma * z)
+
+    # ------------------------------------------------------------------
+    # Population access
+    # ------------------------------------------------------------------
+    def row_population(self, row_index: int) -> RowPopulation:
+        """The row's vulnerable cells as aligned arrays (the fast view)."""
+        self._check_row(row_index)
+        pop = self._populations.get(row_index)
+        if pop is None:
+            self._generate_rows(np.array([row_index], dtype=np.int64))
+            pop = self._populations[row_index]
+        return pop
 
     def row_is_true_cell(self, row_index: int) -> bool:
         """Polarity of a physical row (true-cell vs anti-cell)."""
-        self._check_row(row_index)
-        if row_index not in self._row_polarity:
-            rng = self._row_rng(row_index)
-            self._row_polarity[row_index] = bool(
-                rng.random() < self.config.true_cell_row_fraction
-            )
-        return self._row_polarity[row_index]
+        return self.row_population(row_index).true_cell
 
     def cells_in_row(self, row_index: int) -> Tuple[VulnerableCell, ...]:
         """The vulnerable cells of one row, generated deterministically."""
         self._check_row(row_index)
-        if row_index not in self._rows:
-            self._rows[row_index] = self._generate_row(row_index)
-        return self._rows[row_index]
-
-    def _generate_row(self, row_index: int) -> Tuple[VulnerableCell, ...]:
-        cfg = self.config
-        rng = self._row_rng(row_index)
-        true_cell = self.row_is_true_cell(row_index)
-        # Skip the per-row polarity draw so cell draws stay aligned.
-        n_vulnerable = rng.binomial(self.bits_per_row, cfg.vulnerable_cell_rate)
-        if n_vulnerable == 0:
-            return ()
-        columns = rng.choice(self.bits_per_row, size=n_vulnerable, replace=False)
-        thresholds = np.exp(rng.normal(0.0, cfg.threshold_sigma, size=n_vulnerable))
-        cells = tuple(
-            VulnerableCell(
-                row_index=row_index,
-                physical_column=int(col),
-                threshold=float(thr),
-                true_cell=true_cell,
+        cached = self._rows.get(row_index)
+        if cached is None:
+            pop = self.row_population(row_index)
+            cached = tuple(
+                VulnerableCell(
+                    row_index=row_index,
+                    physical_column=int(col),
+                    threshold=float(thr),
+                    true_cell=pop.true_cell,
+                )
+                for col, thr in zip(pop.columns, pop.thresholds)
             )
-            for col, thr in zip(np.sort(columns), thresholds[np.argsort(columns)])
-        )
-        return cells
+            self._rows[row_index] = cached
+        return cached
 
     def _check_row(self, row_index: int) -> None:
         if not 0 <= row_index < self.total_rows:
             raise ValueError(f"row index {row_index} out of range")
 
+    # ------------------------------------------------------------------
+    # Stress model
     # ------------------------------------------------------------------
     def stress(self, aggressors: int, refresh_interval_ms: float) -> float:
         """Coupling stress on a vulnerable cell with ``aggressors`` in {0,1,2}.
@@ -176,6 +375,15 @@ class FaultMap:
         coupling = (0.0, cfg.single_aggressor_fraction, 1.0)[aggressors]
         return (cfg.baseline_stress + coupling) * interval_factor
 
+    def _stress_table(self, refresh_interval_ms: float) -> np.ndarray:
+        """stress(k, interval) for k in {0, 1, 2}, for array lookups."""
+        return np.array(
+            [self.stress(k, refresh_interval_ms) for k in (0, 1, 2)]
+        )
+
+    # ------------------------------------------------------------------
+    # Per-cell oracle (kept scalar on purpose: the reference semantics)
+    # ------------------------------------------------------------------
     def cell_fails(
         self,
         cell: VulnerableCell,
@@ -202,6 +410,142 @@ class FaultMap:
             aggressors += 1
         return self.stress(aggressors, refresh_interval_ms) >= cell.threshold
 
+    # ------------------------------------------------------------------
+    # Vectorised evaluation
+    # ------------------------------------------------------------------
+    def failing_mask(
+        self,
+        row_index: int,
+        physical_row_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> np.ndarray:
+        """Boolean mask over :meth:`cells_in_row` — True where the cell fails.
+
+        One vectorised pass: gather each vulnerable cell's stored value and
+        both neighbours, count aggressors by array comparison, and compare
+        the stress table against the per-cell thresholds.
+        """
+        pop = self.row_population(row_index)
+        return self._evaluate(
+            pop.columns,
+            pop.thresholds,
+            np.full(len(pop.columns), pop.true_cell, dtype=bool),
+            np.asarray(physical_row_bits),
+            None,
+            refresh_interval_ms,
+        )
+
+    def failing_columns(
+        self,
+        row_index: int,
+        physical_row_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> np.ndarray:
+        """Physical columns (sorted) of the cells failing with this content."""
+        pop = self.row_population(row_index)
+        return pop.columns[
+            self.failing_mask(row_index, physical_row_bits, refresh_interval_ms)
+        ]
+
+    def _evaluate(
+        self,
+        cols: np.ndarray,
+        thresholds: np.ndarray,
+        true_cell: np.ndarray,
+        bits: np.ndarray,
+        row_pos: Optional[np.ndarray],
+        refresh_interval_ms: float,
+    ) -> np.ndarray:
+        """Failure mask for a flat batch of cells against content bits.
+
+        ``bits`` is one row (1-D, shared by every cell) or a matrix whose
+        rows are indexed by ``row_pos``.
+        """
+        if len(cols) == 0:
+            return np.zeros(0, dtype=bool)
+        width = bits.shape[-1]
+        valid = cols < width
+        safe = np.where(valid, cols, 0)
+        left = np.maximum(safe - 1, 0)
+        right = np.minimum(safe + 1, width - 1)
+        if bits.ndim == 1:
+            value = bits[safe]
+            left_value = bits[left]
+            right_value = bits[right]
+        else:
+            value = bits[row_pos, safe]
+            left_value = bits[row_pos, left]
+            right_value = bits[row_pos, right]
+        charged = np.where(true_cell, value == 1, value == 0)
+        aggressors = ((cols > 0) & (left_value != value)).astype(np.int64)
+        aggressors += ((cols + 1 < width) & (right_value != value)).astype(np.int64)
+        table = self._stress_table(refresh_interval_ms)
+        return valid & charged & (table[aggressors] >= thresholds)
+
+    def _gather(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated (row_pos, columns, thresholds, true_cell) for rows."""
+        self._ensure_rows(rows)
+        pops = [self._populations[int(r)] for r in rows]
+        counts = np.fromiter((len(p) for p in pops), np.int64, len(pops))
+        row_pos = np.repeat(np.arange(len(pops)), counts)
+        nonempty = [p for p in pops if len(p)]
+        if not nonempty:
+            return (
+                row_pos,
+                _EMPTY_COLUMNS,
+                _EMPTY_THRESHOLDS,
+                np.empty(0, dtype=bool),
+            )
+        cols = np.concatenate([p.columns for p in nonempty])
+        thresholds = np.concatenate([p.thresholds for p in nonempty])
+        true_cell = np.repeat(
+            np.fromiter((p.true_cell for p in pops), bool, len(pops)), counts
+        )
+        return row_pos, cols, thresholds, true_cell
+
+    def rows_fail(
+        self,
+        rows: Union[Sequence[int], np.ndarray],
+        physical_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> np.ndarray:
+        """Which of ``rows`` lose at least one bit with the given content.
+
+        ``physical_bits`` is either one silicon-order row shared by every
+        row in the batch, or a ``(len(rows), width)`` matrix of per-row
+        content. Returns a boolean array aligned with ``rows``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        self._check_rows(rows)
+        row_pos, cols, thresholds, true_cell = self._gather(rows)
+        fails = self._evaluate(
+            cols, thresholds, true_cell,
+            np.asarray(physical_bits), row_pos, refresh_interval_ms,
+        )
+        return np.bincount(row_pos[fails], minlength=len(rows)) > 0
+
+    def failing_cells_batch(
+        self,
+        rows: Union[Sequence[int], np.ndarray],
+        physical_bits: np.ndarray,
+        refresh_interval_ms: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(row_index, physical_column) of every failing cell in the batch.
+
+        Content semantics match :meth:`rows_fail`. Cells come out grouped
+        by row in ascending column order.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        self._check_rows(rows)
+        row_pos, cols, thresholds, true_cell = self._gather(rows)
+        fails = self._evaluate(
+            cols, thresholds, true_cell,
+            np.asarray(physical_bits), row_pos, refresh_interval_ms,
+        )
+        return rows[row_pos[fails]], cols[fails]
+
     def failing_cells(
         self,
         row_index: int,
@@ -209,25 +553,57 @@ class FaultMap:
         refresh_interval_ms: float,
     ) -> List[VulnerableCell]:
         """All vulnerable cells of a row that fail with this content."""
-        return [
-            cell
-            for cell in self.cells_in_row(row_index)
-            if self.cell_fails(cell, physical_row_bits, refresh_interval_ms)
-        ]
+        mask = self.failing_mask(row_index, physical_row_bits, refresh_interval_ms)
+        if not mask.any():
+            return []
+        cells = self.cells_in_row(row_index)
+        return [cell for cell, fails in zip(cells, mask) if fails]
 
+    # ------------------------------------------------------------------
+    # Worst-case (ALL-FAIL) queries
+    # ------------------------------------------------------------------
     def row_can_ever_fail(self, row_index: int, refresh_interval_ms: float) -> bool:
         """Worst-case (ALL-FAIL) check: does *any* content break this row?
 
         The worst case for a vulnerable cell is being charged with both
         neighbours aggressing, so a row can ever fail iff it holds a
         vulnerable cell whose threshold is within worst-case stress.
+
+        Kept as the scalar per-cell reference; module-scale scans should
+        use :meth:`rows_can_ever_fail`.
         """
         worst = self.stress(2, refresh_interval_ms)
         return any(c.threshold <= worst for c in self.cells_in_row(row_index))
 
+    def rows_can_ever_fail(
+        self,
+        rows: Union[Sequence[int], np.ndarray],
+        refresh_interval_ms: float,
+    ) -> np.ndarray:
+        """Vectorised ALL-FAIL check for a batch of rows.
+
+        Thresholds for uncached rows are generated in one vectorised pass,
+        then the whole batch is answered by a single comparison of per-row
+        minimum thresholds against worst-case stress.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        self._check_rows(rows)
+        self._ensure_rows(rows)
+        mins = np.fromiter(
+            (self._populations[int(r)].min_threshold for r in rows),
+            np.float64,
+            len(rows),
+        )
+        return mins <= self.stress(2, refresh_interval_ms)
+
     def all_fail_rows(self, refresh_interval_ms: float) -> List[int]:
         """Flat indices of every row that could fail under some content."""
-        return [
-            r for r in range(self.total_rows)
-            if self.row_can_ever_fail(r, refresh_interval_ms)
-        ]
+        mask = self.rows_can_ever_fail(
+            np.arange(self.total_rows, dtype=np.int64), refresh_interval_ms
+        )
+        return [int(r) for r in np.flatnonzero(mask)]
+
+    def _check_rows(self, rows: np.ndarray) -> None:
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.total_rows):
+            bad = rows[(rows < 0) | (rows >= self.total_rows)][0]
+            raise ValueError(f"row index {int(bad)} out of range")

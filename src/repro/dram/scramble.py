@@ -61,12 +61,28 @@ class AddressScrambler:
     def to_system(self, physical_column: int) -> int:
         return int(self._physical_to_system[physical_column])
 
+    def system_to_physical_array(self) -> np.ndarray:
+        """The forward permutation as an array (copy): system -> physical."""
+        return self._system_to_physical.copy()
+
+    def physical_to_system_array(self) -> np.ndarray:
+        """The inverse permutation as an array (copy): physical -> system."""
+        return self._physical_to_system.copy()
+
     def scramble_row(self, system_bits: np.ndarray) -> np.ndarray:
         """Rearrange a row of system-ordered bits into physical order."""
         if len(system_bits) != self.columns:
             raise ValueError("row length does not match column count")
         physical = np.empty_like(system_bits)
         physical[self._system_to_physical] = system_bits
+        return physical
+
+    def scramble_rows(self, system_bits: np.ndarray) -> np.ndarray:
+        """Batch :meth:`scramble_row`: scramble a (rows, columns) matrix."""
+        if system_bits.shape[-1] != self.columns:
+            raise ValueError("row length does not match column count")
+        physical = np.empty_like(system_bits)
+        physical[..., self._system_to_physical] = system_bits
         return physical
 
     def unscramble_row(self, physical_bits: np.ndarray) -> np.ndarray:
@@ -132,6 +148,19 @@ class ColumnRemapper:
             physical[col] = 0
         return physical
 
+    def place_rows(self, bits: np.ndarray) -> np.ndarray:
+        """Batch :meth:`place_row`: place a (rows, array_columns) matrix."""
+        if bits.shape[-1] != self.array_columns:
+            raise ValueError("row length does not match array width")
+        physical = np.zeros(bits.shape[:-1] + (self.total_columns,), dtype=bits.dtype)
+        physical[..., : self.array_columns] = bits
+        if self.faulty_columns:
+            faulty = np.asarray(self.faulty_columns, dtype=np.int64)
+            spares = self.array_columns + np.arange(len(faulty))
+            physical[..., spares] = bits[..., faulty]
+            physical[..., faulty] = 0
+        return physical
+
     def extract_row(self, physical: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`place_row`."""
         if len(physical) != self.total_columns:
@@ -161,9 +190,30 @@ class VendorMapping:
         """Lay a system-ordered row of bits out as it sits in silicon."""
         return self.remapper.place_row(self.scrambler.scramble_row(system_bits))
 
+    def to_silicon_batch(self, system_bits: np.ndarray) -> np.ndarray:
+        """Batch :meth:`to_silicon`: lay out a (rows, columns) matrix."""
+        return self.remapper.place_rows(self.scrambler.scramble_rows(system_bits))
+
     def from_silicon(self, physical_bits: np.ndarray) -> np.ndarray:
         """Read a silicon layout back into system bit order."""
         return self.scrambler.unscramble_row(self.remapper.extract_row(physical_bits))
+
+    def system_of_silicon(self) -> np.ndarray:
+        """System bit index served by each silicon position, -1 if none.
+
+        Faulty main-array positions hold no system data (their content
+        lives in the spare region), so a flip there is invisible to any
+        read-back — exactly the positions marked -1.
+        """
+        mapping = np.full(self.physical_columns, -1, dtype=np.int64)
+        phys_to_sys = self.scrambler.physical_to_system_array()
+        mapping[: self.remapper.array_columns] = phys_to_sys
+        if self.remapper.faulty_columns:
+            faulty = np.asarray(self.remapper.faulty_columns, dtype=np.int64)
+            spares = self.remapper.array_columns + np.arange(len(faulty))
+            mapping[spares] = phys_to_sys[faulty]
+            mapping[faulty] = -1
+        return mapping
 
     def silicon_index(self, system_column: int) -> int:
         """Physical location of a system column (scramble, then remap)."""

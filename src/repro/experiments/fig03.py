@@ -3,9 +3,18 @@
 The paper tests one chip with ~100 data patterns and plots, for each
 failing cell, the set of patterns that trips it — showing the failures are
 conditional on content. We run the canonical + random pattern battery on a
-slice of the simulated module via the SoftMC tester and report, per
-pattern, how many cells fail, plus the per-cell pattern-sensitivity
-summary (cells failing under every pattern would not be data-dependent).
+slice of the simulated module and report, per pattern, how many cells
+fail, plus the per-cell pattern-sensitivity summary (cells failing under
+every pattern would not be data-dependent).
+
+The battery runs through the vectorised batch fault-evaluation engine:
+each pattern is laid out in silicon order for every row at once
+(:meth:`VendorMapping.to_silicon_batch`) and evaluated in a single
+:meth:`FaultMap.failing_cells_batch` pass. Failures are reported in
+*system* coordinates, exactly as the SoftMC read-back path would see
+them — flips at silicon positions that hold no system data (zeroed
+faulty columns) are invisible and excluded, and the same protocol is
+cross-checked against the device path in the test suite.
 """
 
 from __future__ import annotations
@@ -13,9 +22,13 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Set, Tuple
 
-from ..dram import DramDevice, DramGeometry
+import numpy as np
+
+from ..dram import DramGeometry
 from ..dram.faults import FaultMap, FaultModelConfig
-from ..testinfra import SoftMCTester, pattern_battery
+from ..dram.scramble import VendorMapping, make_vendor_mapping
+from ..testinfra import pattern_battery
+from ..testinfra.patterns import DataPattern
 from .common import ExperimentResult
 
 #: Test conditions mirroring the paper's FPGA setup: a 328 ms-equivalent
@@ -23,35 +36,68 @@ from .common import ExperimentResult
 TEST_INTERVAL_MS = 328.0
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Run the pattern battery and collect per-pattern failing cells."""
-    n_patterns = 24 if quick else 100
+def _setup(quick: bool, seed: int) -> Tuple[DramGeometry, VendorMapping, FaultMap]:
     rows = 96 if quick else 512
     geometry = DramGeometry(
         channels=1, ranks=1, banks=2, rows_per_bank=rows // 2,
         row_size_bytes=2048, block_size_bytes=64,
     )
+    # Same vendor-mapping parameters a CellArray would auto-build.
+    mapping = make_vendor_mapping(
+        columns=geometry.bits_per_row,
+        seed=seed,
+        spare_columns=max(8, geometry.bits_per_row // 256),
+        faulty_fraction=0.002,
+    )
     # Densify the fault population so a small slice shows many cells, as
     # the paper's single-chip plot does.
-    fault_config = FaultModelConfig(vulnerable_cell_rate=2e-4)
-    device = DramDevice(geometry, seed=seed)
-    device.cells.fault_map = FaultMap(
+    fault_map = FaultMap(
         total_rows=geometry.total_rows,
-        bits_per_row=device.cells.vendor_mapping.physical_columns,
-        config=fault_config,
+        bits_per_row=mapping.physical_columns,
+        config=FaultModelConfig(vulnerable_cell_rate=2e-4),
         seed=seed,
     )
-    tester = SoftMCTester(device)
+    return geometry, mapping, fault_map
+
+
+def _pattern_failures(
+    geometry: DramGeometry,
+    mapping: VendorMapping,
+    fault_map: FaultMap,
+    pattern: DataPattern,
+    system_of_silicon: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(row, system bit) of every read-back-visible failure of a pattern."""
+    rows = np.arange(geometry.total_rows, dtype=np.int64)
+    system = np.stack(
+        [pattern.row_bits(int(r), geometry.bits_per_row) for r in rows]
+    )
+    silicon = mapping.to_silicon_batch(system)
+    fail_rows, fail_cols = fault_map.failing_cells_batch(
+        rows, silicon, TEST_INTERVAL_MS
+    )
+    bits = system_of_silicon[fail_cols]
+    visible = bits >= 0
+    return fail_rows[visible], bits[visible]
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run the pattern battery and collect per-pattern failing cells."""
+    n_patterns = 24 if quick else 100
+    geometry, mapping, fault_map = _setup(quick, seed)
+    system_of_silicon = mapping.system_of_silicon()
 
     cell_patterns: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
     per_pattern_failures: List[Tuple[str, int]] = []
     for pattern_id, pattern in enumerate(pattern_battery(
         n_random=n_patterns - 10, seed=seed,
     )[:n_patterns]):
-        report = tester.test_pattern(pattern, TEST_INTERVAL_MS)
-        for failure in report.failures:
-            cell_patterns[(failure.row_index, failure.bit)].add(pattern_id)
-        per_pattern_failures.append((pattern.name, len(report.failures)))
+        rows, bits = _pattern_failures(
+            geometry, mapping, fault_map, pattern, system_of_silicon
+        )
+        for row, bit in zip(rows, bits):
+            cell_patterns[(int(row), int(bit))].add(pattern_id)
+        per_pattern_failures.append((pattern.name, len(rows)))
 
     result = ExperimentResult(
         experiment_id="fig03",
@@ -80,27 +126,18 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
 def cell_pattern_matrix(quick: bool = True, seed: int = 1):
     """(cell_id, pattern_id) scatter points, the raw Figure 3 plot data."""
     n_patterns = 24 if quick else 100
-    rows = 96 if quick else 512
-    geometry = DramGeometry(
-        channels=1, ranks=1, banks=2, rows_per_bank=rows // 2,
-        row_size_bytes=2048, block_size_bytes=64,
-    )
-    device = DramDevice(geometry, seed=seed)
-    device.cells.fault_map = FaultMap(
-        total_rows=geometry.total_rows,
-        bits_per_row=device.cells.vendor_mapping.physical_columns,
-        config=FaultModelConfig(vulnerable_cell_rate=2e-4),
-        seed=seed,
-    )
-    tester = SoftMCTester(device)
+    geometry, mapping, fault_map = _setup(quick, seed)
+    system_of_silicon = mapping.system_of_silicon()
     cell_ids: Dict[Tuple[int, int], int] = {}
     points = []
     for pattern_id, pattern in enumerate(pattern_battery(
         n_random=n_patterns - 10, seed=seed,
     )[:n_patterns]):
-        report = tester.test_pattern(pattern, TEST_INTERVAL_MS)
-        for failure in report.failures:
-            key = (failure.row_index, failure.bit)
+        rows, bits = _pattern_failures(
+            geometry, mapping, fault_map, pattern, system_of_silicon
+        )
+        for row, bit in zip(rows, bits):
+            key = (int(row), int(bit))
             cell = cell_ids.setdefault(key, len(cell_ids))
             points.append((cell, pattern_id))
     return points

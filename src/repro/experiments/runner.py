@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from . import (
     fig03, fig04, fig06, fig07, fig08, fig09, fig11, fig12,
@@ -53,7 +53,7 @@ def run_experiments(
     return [EXPERIMENTS[name](quick=quick, seed=seed) for name in names]
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the MEMCON paper's tables and figures.",
@@ -69,10 +69,16 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
         "--out", metavar="FILE", default=None,
-        help="also append each result table to FILE (markdown code blocks)",
+        help="also write each result table to FILE (markdown code blocks); "
+        "the file is truncated at the start of the run",
     )
     args = parser.parse_args(argv)
 
+    if args.out:
+        # Truncate once so each invocation produces a fresh report, then
+        # append per experiment so partial output survives a crash.
+        with open(args.out, "w"):
+            pass
     for name in (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     ):

@@ -83,13 +83,23 @@ class SystemResult:
         return sum(core.ipc for core in self.cores) / len(self.cores)
 
     def weighted_speedup_vs(self, baseline: "SystemResult") -> float:
-        """Sum of per-core IPC ratios against a baseline run."""
+        """Sum of per-core IPC ratios against a baseline run.
+
+        A zero-IPC baseline core makes the metric undefined; silently
+        dropping it would shrink the sum and understate every mechanism
+        compared against that baseline, so it is rejected instead.
+        """
         if len(self.cores) != len(baseline.cores):
             raise ValueError("core counts differ")
+        for i, ref in enumerate(baseline.cores):
+            if ref.ipc <= 0:
+                raise ValueError(
+                    f"baseline core {i} ({ref.benchmark}) has zero IPC; "
+                    "weighted speedup is undefined"
+                )
         return sum(
             mine.ipc / ref.ipc
             for mine, ref in zip(self.cores, baseline.cores)
-            if ref.ipc > 0
         )
 
 
@@ -109,22 +119,25 @@ class SystemSimulator:
         self._reads_done: Dict[int, List[Request]] = {
             i: [] for i in range(len(benchmarks))
         }
-        # Test traffic is spread evenly across channels.
-        per_channel_tests = TestTrafficSettings(
-            concurrent_tests=(
-                self.config.test_traffic.concurrent_tests
-                // self.config.channels
-            ),
-            window_ms=self.config.test_traffic.window_ms,
-            requests_per_test=self.config.test_traffic.requests_per_test,
-        )
+        # Test traffic is spread across channels; the division remainder
+        # goes to the first channels so no configured test is dropped.
+        total_tests = self.config.test_traffic.concurrent_tests
+        base, extra = divmod(total_tests, self.config.channels)
+        per_channel_tests = [
+            TestTrafficSettings(
+                concurrent_tests=base + (1 if channel < extra else 0),
+                window_ms=self.config.test_traffic.window_ms,
+                requests_per_test=self.config.test_traffic.requests_per_test,
+            )
+            for channel in range(self.config.channels)
+        ]
         self.controllers = [
             MemoryController(
                 timing=timing,
                 banks=self.config.banks,
                 rows_per_bank=self.config.rows_per_bank,
                 refresh=self.config.refresh,
-                test_traffic=per_channel_tests,
+                test_traffic=per_channel_tests[channel],
                 on_read_complete=self._read_done,
                 row_refresh=(
                     RowRefreshScheduler(

@@ -21,12 +21,23 @@ in per-benchmark proportions:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Tuple
 
 import numpy as np
 
 RowGenerator = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def name_seed(name: str) -> int:
+    """Deterministic 32-bit seed derived from a profile name.
+
+    ``hash(str)`` is salted per interpreter process (PYTHONHASHSEED), so
+    seeding from it made every generated image and trace differ between
+    runs of the nominally same seed.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 def _zero_row(rng: np.random.Generator, n_bytes: int) -> np.ndarray:
@@ -121,7 +132,7 @@ class ContentProfile:
         """Generate ``n_rows`` rows of content, keyed by row index."""
         if n_rows <= 0 or row_bytes <= 0:
             raise ValueError("n_rows and row_bytes must be positive")
-        rng = np.random.default_rng((seed << 8) ^ abs(hash(self.name)) % (1 << 32))
+        rng = np.random.default_rng((seed << 8) ^ name_seed(self.name))
         names = list(self.mixture)
         weights = np.array([self.mixture[n] for n in names], dtype=np.float64)
         weights = weights / weights.sum()

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .content import name_seed
 from .events import WriteTrace
 from .workloads import WorkloadProfile
 
@@ -69,7 +70,7 @@ def generate_trace(
     duration_ms: Optional[float] = None,
 ) -> WriteTrace:
     """Generate the full write trace for one workload profile."""
-    rng = np.random.default_rng((seed << 16) ^ hash(profile.name) % (1 << 32))
+    rng = np.random.default_rng((seed << 16) ^ name_seed(profile.name))
     window = duration_ms if duration_ms is not None else profile.duration_ms
 
     n_written = int(round(profile.n_pages * profile.written_page_fraction))

@@ -19,7 +19,7 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from .content import ContentProfile
+from .content import ContentProfile, name_seed
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ def generate_content_trace(
         raise ValueError("churn_fraction must be in [0, 1]")
     if instructions_per_phase <= 0:
         raise ValueError("instructions_per_phase must be positive")
-    rng = np.random.default_rng((seed << 12) ^ abs(hash(profile.name)) % (1 << 32))
+    rng = np.random.default_rng((seed << 12) ^ name_seed(profile.name))
 
     image = profile.generate_image(n_rows, row_bytes, seed=seed)
     snapshots = [ContentSnapshot(

@@ -143,3 +143,36 @@ class TestDecay:
         first = dense_array.decay_row(1, 500.0)
         second = dense_array.decay_row(1, 500.0)
         assert np.array_equal(first, second)
+
+
+class TestEvaluateRows:
+    def test_matches_per_row_scalar_path(self, dense_array):
+        rng = np.random.default_rng(12)
+        total = dense_array.geometry.total_rows
+        for row in range(0, total, 3):
+            dense_array.write_row_bits(
+                row, rng.integers(0, 2, 4096).astype(np.uint8)
+            )
+        batch = dense_array.evaluate_rows(None, 1000.0)
+        assert batch.shape == (total,)
+        for row in range(total):
+            assert batch[row] == dense_array.row_fails(row, 1000.0)
+
+    def test_row_subset_and_chunking(self, dense_array):
+        rng = np.random.default_rng(13)
+        rows = [1, 5, 17, 40]
+        for row in rows:
+            dense_array.write_row_bits(
+                row, rng.integers(0, 2, 4096).astype(np.uint8)
+            )
+        batch = dense_array.evaluate_rows(rows, 800.0, chunk_rows=2)
+        assert batch.shape == (len(rows),)
+        for pos, row in enumerate(rows):
+            assert batch[pos] == dense_array.row_fails(row, 800.0)
+
+    def test_unwritten_rows_share_zero_image(self, dense_array):
+        # No row written: every row holds the zero pattern, so the batch
+        # must agree with the scalar path on the all-zeros content.
+        batch = dense_array.evaluate_rows(None, 1000.0)
+        for row in range(dense_array.geometry.total_rows):
+            assert batch[row] == dense_array.row_fails(row, 1000.0)

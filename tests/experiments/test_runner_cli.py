@@ -19,15 +19,25 @@ class TestCli:
         assert content.startswith("```")
         assert "min_write_interval_ms" in content
 
-    def test_out_file_appends(self, tmp_path, capsys):
+    def test_out_file_truncated_between_runs(self, tmp_path, capsys):
         target = tmp_path / "results.md"
+        target.write_text("stale content from an earlier run\n")
         main(["fig06", "--out", str(target)])
         first = target.read_text()
+        assert "stale content" not in first
         main(["fig06", "--out", str(target)])
-        assert len(target.read_text()) == 2 * len(first)
+        assert target.read_text() == first
 
     def test_seed_flag_accepted(self, capsys):
         assert main(["fig06", "--seed", "7"]) == 0
+
+    def test_fig03_quick_smoke(self, capsys):
+        from repro.experiments.runner import run_experiments
+
+        results = run_experiments(["fig03"], quick=True)
+        assert len(results) == 1
+        assert results[0].experiment_id == "fig03"
+        assert results[0].rows  # one entry per pattern
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -89,6 +89,30 @@ class TestRefreshEffects:
 
 
 class TestTestTraffic:
+    def test_tests_conserved_across_channels(self):
+        # 10 tests over 3 channels used to floor-divide to 3+3+3 and drop
+        # one; the remainder now lands on the leading channels.
+        config = SystemConfig(
+            channels=3,
+            test_traffic=TestTrafficSettings(concurrent_tests=10),
+        )
+        sim = SystemSimulator([get_benchmark("mcf")], config)
+        per_channel = [
+            c.test_traffic.concurrent_tests for c in sim.controllers
+        ]
+        assert sum(per_channel) == 10
+        assert per_channel == [4, 3, 3]
+
+    def test_even_split_unchanged(self):
+        config = SystemConfig(
+            channels=2,
+            test_traffic=TestTrafficSettings(concurrent_tests=8),
+        )
+        sim = SystemSimulator([get_benchmark("mcf")], config)
+        assert [
+            c.test_traffic.concurrent_tests for c in sim.controllers
+        ] == [4, 4]
+
     def test_testing_slows_down_slightly(self):
         free = simulate_workload(["mcf"], refresh_reduction=0.66,
                                  concurrent_tests=0,
@@ -109,6 +133,17 @@ class TestResultApi:
         result = simulate_workload(["mcf", "lbm"], window_ns=WINDOW_NS,
                                    seed=1)
         assert result.weighted_speedup_vs(result) == pytest.approx(2.0)
+
+    def test_zero_ipc_baseline_rejected(self):
+        # A dead baseline core used to be skipped silently, shrinking the
+        # weighted sum and understating every comparison against it.
+        result = simulate_workload(["mcf", "lbm"], window_ns=WINDOW_NS,
+                                   seed=1)
+        broken = simulate_workload(["mcf", "lbm"], window_ns=WINDOW_NS,
+                                   seed=1)
+        broken.cores[1].ipc = 0.0
+        with pytest.raises(ValueError, match="zero IPC"):
+            result.weighted_speedup_vs(broken)
 
     def test_mismatched_core_counts_raise(self):
         one = simulate_workload(["mcf"], window_ns=WINDOW_NS, seed=1)

@@ -101,3 +101,37 @@ class TestBitDensity:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             bit_density({})
+
+
+class TestNameSeed:
+    def test_stable_across_processes(self):
+        # Regression: seeding from hash(name) varied with PYTHONHASHSEED,
+        # so "deterministic" images differed between interpreter runs.
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib\n"
+            "from repro.traces.spec import BENCHMARKS\n"
+            "img = BENCHMARKS['mcf'].content.generate_image(4, 256, seed=1)\n"
+            "digest = hashlib.sha256(b''.join(img[i] for i in sorted(img)))\n"
+            "print(digest.hexdigest())\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "random"):
+            env = {"PYTHONPATH": "src", "PYTHONHASHSEED": hash_seed}
+            out = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, env=env, cwd=".",
+            )
+            assert out.returncode == 0, out.stderr
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1
+
+    def test_known_value(self):
+        import zlib
+
+        from repro.traces.content import name_seed
+
+        assert name_seed("mcf") == zlib.crc32(b"mcf")
+        assert 0 <= name_seed("mcf") < 1 << 32
