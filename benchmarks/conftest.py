@@ -4,9 +4,24 @@ Every benchmark regenerates one of the paper's tables or figures via its
 experiment module and asserts the claim's *shape* (who wins, by roughly
 what factor). Heavy experiments run one pedantic round; analytic ones
 benchmark normally.
+
+Headline numbers land in ``BENCH_obs.json`` at the repository root (via
+the ``record_bench`` fixture) so successive PRs accumulate a measured
+perf trajectory instead of prose claims.
 """
 
+import json
+import os
+import time
+
 import pytest
+
+from repro import obs
+
+#: The committed perf-trajectory file, next to this directory.
+BENCH_OBS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_obs.json"
+)
 
 
 @pytest.fixture
@@ -18,3 +33,40 @@ def run_once(benchmark):
                                   rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def obs_env():
+    """Fresh enabled registry + in-memory sink, restored afterwards."""
+    registry = obs.MetricsRegistry(enabled=True)
+    sink = obs.ListTraceSink()
+    previous_registry = obs.set_registry(registry)
+    previous_sink = obs.set_sink(sink)
+    try:
+        yield registry, sink
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_sink(previous_sink)
+
+
+@pytest.fixture
+def record_bench():
+    """Merge one named entry into the BENCH_obs.json trajectory file."""
+
+    def recorder(name, **fields):
+        path = os.path.abspath(BENCH_OBS_PATH)
+        data = {}
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    data = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                data = {}
+        entry = dict(fields)
+        entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        data[name] = entry
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    return recorder

@@ -37,7 +37,8 @@ def _timed(fn):
 
 
 class TestAllFailScan:
-    def test_vectorised_scan_10x_faster_and_identical(self, run_once):
+    def test_vectorised_scan_10x_faster_and_identical(self, run_once,
+                                                      record_bench):
         def compare():
             legacy_map = _fresh_map()
             legacy, legacy_s = _timed(lambda: [
@@ -51,6 +52,13 @@ class TestAllFailScan:
             return legacy, vectorised, legacy_s, vector_s
 
         legacy, vectorised, legacy_s, vector_s = run_once(compare)
+        record_bench(
+            "faultmap_all_fail_scan",
+            legacy_s=round(legacy_s, 6),
+            vectorised_s=round(vector_s, 6),
+            speedup=round(legacy_s / vector_s, 2),
+            rows=ROWS,
+        )
         assert vectorised == legacy
         # Paper: ~13.5% of rows are ALL-FAIL at the 328 ms window.
         assert 0.05 < len(vectorised) / ROWS < 0.25
@@ -61,7 +69,7 @@ class TestAllFailScan:
 
 
 class TestRowTestSweep:
-    def test_mask_sweep_beats_per_cell_loop(self, run_once):
+    def test_mask_sweep_beats_per_cell_loop(self, run_once, record_bench):
         dense = FaultModelConfig(vulnerable_cell_rate=2e-4)
 
         def compare():
@@ -86,6 +94,13 @@ class TestRowTestSweep:
             return legacy, vectorised, legacy_s, vector_s
 
         legacy, vectorised, legacy_s, vector_s = run_once(compare)
+        record_bench(
+            "faultmap_row_test_sweep",
+            legacy_s=round(legacy_s, 6),
+            vectorised_s=round(vector_s, 6),
+            speedup=round(legacy_s / vector_s, 2),
+            rows_swept=ROWS // 4,
+        )
         assert vectorised == legacy
         assert legacy_s > vector_s, (
             f"mask sweep slower than per-cell loop "

@@ -1,0 +1,182 @@
+"""Overhead benchmark for the observability layer.
+
+The obs instrumentation lives inside the MEMCON hot loops, so its cost
+when *disabled* (the default: module registry disabled, no trace sink)
+must be negligible. There is no uninstrumented code path left to diff
+against, so the bound is established directly:
+
+1. run the controller with observability off and time it,
+2. re-run with an enabled registry + in-memory sink while *counting*
+   every instrumentation call (counter increments and trace-guard
+   checks) via shims,
+3. micro-time what each of those calls costs in the disabled state,
+
+and assert calls x per-call-cost stays under 5% of the disabled run
+(the issue's acceptance bar). The measured numbers are recorded into
+``BENCH_obs.json`` so later PRs can track the trajectory.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import MemconConfig, MemconController
+from repro.obs import registry as obs_registry
+from repro.traces.events import WriteTrace
+
+QUANTUM_MS = 1024.0
+QUANTA = 48
+PAGES = 768
+OVERHEAD_BUDGET = 0.05
+
+
+def _workload_trace(seed: int = 11) -> WriteTrace:
+    """A busy synthetic workload: most pages written, many per quantum."""
+    rng = np.random.default_rng(seed)
+    duration_ms = QUANTA * QUANTUM_MS
+    writes = {}
+    for page in range(PAGES):
+        if page % 8 == 7:
+            continue  # leave some pages read-only
+        count = int(rng.integers(1, 24))
+        times = np.sort(rng.uniform(0.0, duration_ms - 1.0, size=count))
+        writes[page] = times.astype(np.float64)
+    return WriteTrace(duration_ms=duration_ms, writes=writes,
+                      total_pages=PAGES, name="bench-obs")
+
+
+def _run_controller(trace: WriteTrace) -> float:
+    controller = MemconController(
+        total_pages=trace.total_pages, config=MemconConfig(quantum_ms=QUANTUM_MS)
+    )
+    start = time.perf_counter()
+    controller.run(trace)
+    return time.perf_counter() - start
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum of several timings: the noise-free cost estimate."""
+    return min(fn() for _ in range(repeats))
+
+
+def _per_call_costs(loops: int = 50_000):
+    """Cost of one disabled counter.inc() and one inactive trace guard."""
+    registry = obs.MetricsRegistry(enabled=False)
+    counter = registry.counter("bench.noop")
+
+    def time_inc():
+        start = time.perf_counter()
+        for _ in range(loops):
+            counter.inc()
+        return (time.perf_counter() - start) / loops
+
+    previous = obs.set_sink(None)
+    try:
+        active = obs.trace_active
+
+        def time_guard():
+            start = time.perf_counter()
+            for _ in range(loops):
+                active()
+            return (time.perf_counter() - start) / loops
+
+        return _best_of(time_inc), _best_of(time_guard)
+    finally:
+        obs.set_sink(previous)
+
+
+class TestDisabledInstrumentationOverhead:
+    def test_disabled_overhead_under_5_percent(self, run_once, record_bench):
+        trace = _workload_trace()
+
+        def measure():
+            # -- disabled wall time: default off state, best of three runs.
+            previous_registry = obs.set_registry(
+                obs.MetricsRegistry(enabled=False)
+            )
+            previous_sink = obs.set_sink(None)
+            try:
+                disabled_s = _best_of(lambda: _run_controller(trace))
+
+                # -- enabled run, counting every instrumentation call.
+                calls = {"inc": 0, "guard": 0}
+                real_inc = obs_registry.Counter.inc
+                real_active = obs.trace_active
+
+                def counting_inc(self, n=1):
+                    calls["inc"] += 1
+                    return real_inc(self, n)
+
+                def counting_active():
+                    calls["guard"] += 1
+                    return real_active()
+
+                registry = obs.MetricsRegistry(enabled=True)
+                sink = obs.ListTraceSink()
+                obs.set_registry(registry)
+                obs.set_sink(sink)
+                obs_registry.Counter.inc = counting_inc
+                obs.trace_active = counting_active
+                try:
+                    enabled_s = _run_controller(trace)
+                finally:
+                    obs_registry.Counter.inc = real_inc
+                    obs.trace_active = real_active
+            finally:
+                obs.set_registry(previous_registry)
+                obs.set_sink(previous_sink)
+
+            inc_s, guard_s = _per_call_costs()
+            overhead_s = calls["inc"] * inc_s + calls["guard"] * guard_s
+            return disabled_s, enabled_s, calls, overhead_s, len(sink.records)
+
+        disabled_s, enabled_s, calls, overhead_s, events = run_once(measure)
+
+        # The run must actually exercise the instrumentation heavily.
+        assert calls["inc"] > 1_000
+        assert calls["guard"] > 1_000
+        assert events > 1_000
+
+        fraction = overhead_s / disabled_s
+        record_bench(
+            "obs_disabled_overhead",
+            disabled_run_s=round(disabled_s, 6),
+            enabled_run_s=round(enabled_s, 6),
+            obs_calls=calls["inc"] + calls["guard"],
+            trace_events=events,
+            est_disabled_overhead_s=round(overhead_s, 6),
+            est_disabled_overhead_fraction=round(fraction, 6),
+            budget_fraction=OVERHEAD_BUDGET,
+        )
+        assert fraction < OVERHEAD_BUDGET, (
+            f"disabled instrumentation costs {fraction:.2%} of the "
+            f"{disabled_s:.3f}s run ({calls} calls, "
+            f"{overhead_s * 1e3:.2f} ms) — budget is {OVERHEAD_BUDGET:.0%}"
+        )
+
+
+class TestEnabledRunSanity:
+    def test_enabled_run_reconciles_and_terminates(self, run_once, obs_env):
+        """Enabled-path benchmark smoke: events reconcile at full scale."""
+        registry, sink = obs_env
+        trace = _workload_trace(seed=5)
+
+        def run():
+            controller = MemconController(
+                total_pages=trace.total_pages,
+                config=MemconConfig(quantum_ms=QUANTUM_MS),
+            )
+            return controller.run(trace)
+
+        report = run_once(run)
+        kinds = sink.kinds()
+        assert kinds["test_started"] == report.tests_total
+        assert kinds["test_started"] == (
+            kinds.get("test_aborted", 0)
+            + kinds.get("test_passed", 0)
+            + kinds.get("test_failed", 0)
+        )
+        counters = registry.snapshot()["counters"]
+        assert counters["memcon.tests_started"] == report.tests_total

@@ -10,6 +10,8 @@ Public API highlights
 * :mod:`repro.core` — cost model, PRIL predictor, MEMCON controller.
 * :mod:`repro.mc` / :mod:`repro.sim` — cycle-level performance simulator.
 * :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.obs` — metrics registry, span timing, JSONL event traces
+  and run manifests across the whole pipeline.
 """
 
 __version__ = "1.0.0"

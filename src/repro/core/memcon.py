@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from .. import obs
 from ..dram.cell_array import CellArray
 from ..dram.timing import HI_REF_INTERVAL_MS, LO_REF_INTERVAL_MS, DDR3_1600
 from ..traces.events import WriteTrace
@@ -103,6 +104,9 @@ class MemconReport:
     testing_time_ns: float
     testing_time_correct_ns: float
     testing_time_mispredicted_ns: float
+    #: Tests interrupted by a write inside the test window (the row goes
+    #: straight back to HI-REF without a pass/fail verdict).
+    tests_aborted: int = 0
 
     @property
     def refresh_reduction(self) -> float:
@@ -128,6 +132,7 @@ class MemconReport:
 # ----------------------------------------------------------------------
 # Fast accounting model
 # ----------------------------------------------------------------------
+@obs.timed("memcon.simulate")
 def simulate_refresh_reduction(
     trace: WriteTrace,
     config: Optional[MemconConfig] = None,
@@ -161,6 +166,7 @@ def simulate_refresh_reduction(
     tests_failed = 0
     tests_correct = 0
     tests_mispredicted = 0
+    tests_aborted = 0
 
     written = set(trace.writes)
     for page, times in trace.writes.items():
@@ -184,6 +190,8 @@ def simulate_refresh_reduction(
             tests_total += 1
             test_end = boundary + test_ms
             idle_until = next_write[idx]
+            if idle_until < test_end:
+                tests_aborted += 1
             testing_time_ms += min(test_ms, max(0.0, idle_until - boundary))
             if idle_until - boundary > config.long_interval_ms:
                 tests_correct += 1
@@ -214,6 +222,10 @@ def simulate_refresh_reduction(
     baseline_count = trace.total_pages * window / config.hi_ref_interval_ms
     refresh_ns = DDR3_1600.row_refresh_ns
     correct_frac = tests_correct / tests_total if tests_total else 0.0
+    registry = obs.get_registry()
+    registry.counter("memcon.tests_started").inc(tests_total)
+    registry.counter("memcon.tests_failed").inc(tests_failed)
+    registry.counter("memcon.tests_aborted").inc(tests_aborted)
     return MemconReport(
         workload=trace.name,
         config=config,
@@ -231,6 +243,7 @@ def simulate_refresh_reduction(
         testing_time_ns=tests_total * cost_ns,
         testing_time_correct_ns=tests_total * cost_ns * correct_frac,
         testing_time_mispredicted_ns=tests_total * cost_ns * (1 - correct_frac),
+        tests_aborted=tests_aborted,
     )
 
 
@@ -280,8 +293,34 @@ class MemconController:
         self.tests_failed = 0
         self.tests_correct = 0
         self.tests_mispredicted = 0
+        self.tests_aborted = 0
+        registry = obs.get_registry()
+        self._c_started = registry.counter("memcon.tests_started")
+        self._c_aborted = registry.counter("memcon.tests_aborted")
+        self._c_passed = registry.counter("memcon.tests_passed")
+        self._c_failed = registry.counter("memcon.tests_failed")
+        self._c_to_lo = registry.counter("memcon.transitions_to_lo")
+        self._c_to_hi = registry.counter("memcon.transitions_to_hi")
 
     # ------------------------------------------------------------------
+    def _set_state(
+        self, page: int, state: RefreshState, now_ms: float
+    ) -> None:
+        """Ledger transition plus transition counters and trace events."""
+        previous = self.ledger.state_of(page)
+        self.ledger.set_state(page, state, now_ms)
+        if state is previous:
+            return
+        if state is RefreshState.LO_REF:
+            self._c_to_lo.inc()
+        elif state is RefreshState.HI_REF:
+            self._c_to_hi.inc()
+        if obs.trace_active():
+            obs.emit(
+                "ref_transition", t_ms=now_ms, page=page,
+                **{"from": previous.value, "to": state.value},
+            )
+
     def _advance_to(self, now_ms: float, trace: WriteTrace) -> None:
         """Cross any quantum boundaries between the clock and ``now_ms``."""
         while self._next_boundary_ms <= now_ms:
@@ -295,16 +334,23 @@ class MemconController:
         cfg = self.config
         test_end = boundary_ms + cfg.test_duration_ms
         self.tests_total += 1
+        self._c_started.inc()
+        if obs.trace_active():
+            obs.emit("test_started", t_ms=boundary_ms, page=page)
         # Classify the prediction against the trace's future for reporting.
         next_write = self._next_write_after(page, boundary_ms, trace)
         if next_write - boundary_ms > cfg.long_interval_ms:
             self.tests_correct += 1
         else:
             self.tests_mispredicted += 1
-        self.ledger.set_state(page, RefreshState.TESTING, boundary_ms)
+        self._set_state(page, RefreshState.TESTING, boundary_ms)
         if next_write < test_end:
             # The test will be aborted by the write; the write handler
             # moves the row back to HI-REF when it arrives.
+            self.tests_aborted += 1
+            self._c_aborted.inc()
+            if obs.trace_active():
+                obs.emit("test_aborted", t_ms=next_write, page=page)
             return
         if self.engine is not None:
             failed = not self.engine.run_test(page, boundary_ms).passed
@@ -312,9 +358,15 @@ class MemconController:
             failed = self._fails(page)
         if failed:
             self.tests_failed += 1
-            self.ledger.set_state(page, RefreshState.HI_REF, test_end)
+            self._c_failed.inc()
+            if obs.trace_active():
+                obs.emit("test_failed", t_ms=test_end, page=page)
+            self._set_state(page, RefreshState.HI_REF, test_end)
         else:
-            self.ledger.set_state(page, RefreshState.LO_REF, test_end)
+            self._c_passed.inc()
+            if obs.trace_active():
+                obs.emit("test_passed", t_ms=test_end, page=page)
+            self._set_state(page, RefreshState.LO_REF, test_end)
 
     @staticmethod
     def _next_write_after(page: int, t_ms: float, trace: WriteTrace) -> float:
@@ -327,6 +379,7 @@ class MemconController:
         return float(times[idx])
 
     # ------------------------------------------------------------------
+    @obs.timed("memcon.run")
     def run(self, trace: WriteTrace, failing_page_fraction: float = 0.0,
             seed: int = 0) -> MemconReport:
         """Process a whole trace and return the accounting report."""
@@ -355,25 +408,39 @@ class MemconController:
             for page, failed in zip(read_only, outcomes):
                 self.tests_total += 1
                 self.tests_correct += 1
-                self.ledger.set_state(page, RefreshState.TESTING, 0.0)
+                self._c_started.inc()
+                if obs.trace_active():
+                    obs.emit("test_started", t_ms=0.0, page=page)
+                self._set_state(page, RefreshState.TESTING, 0.0)
                 if failed:
                     self.tests_failed += 1
-                    self.ledger.set_state(
+                    self._c_failed.inc()
+                    if obs.trace_active():
+                        obs.emit(
+                            "test_failed", t_ms=cfg.test_duration_ms, page=page
+                        )
+                    self._set_state(
                         page, RefreshState.HI_REF, cfg.test_duration_ms
                     )
                 else:
-                    self.ledger.set_state(
+                    self._c_passed.inc()
+                    if obs.trace_active():
+                        obs.emit(
+                            "test_passed", t_ms=cfg.test_duration_ms, page=page
+                        )
+                    self._set_state(
                         page, RefreshState.LO_REF, cfg.test_duration_ms
                     )
         for time_ms, page in trace.merged_events():
             self._advance_to(time_ms, trace)
             if self.ledger.state_of(page) is not RefreshState.HI_REF:
-                self.ledger.set_state(page, RefreshState.HI_REF, time_ms)
+                self._set_state(page, RefreshState.HI_REF, time_ms)
             self.pril.observe_write(page)
             self._last_write_ms[page] = time_ms
         # Advance to just below the window end: a quantum boundary landing
         # exactly on the capture edge cannot start a (zero-length) test.
         self._advance_to(float(np.nextafter(trace.duration_ms, 0.0)), trace)
+        self.pril.flush_metrics()  # writes landing in a trailing partial quantum
         self.ledger.finalize(trace.duration_ms)
 
         cost_ns = test_cost_ns(cfg.test_mode)
@@ -397,4 +464,5 @@ class MemconController:
             testing_time_ns=self.tests_total * cost_ns,
             testing_time_correct_ns=self.tests_correct * cost_ns,
             testing_time_mispredicted_ns=self.tests_mispredicted * cost_ns,
+            tests_aborted=self.tests_aborted,
         )

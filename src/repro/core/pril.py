@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from .. import obs
+
 
 @dataclass
 class PrilStats:
@@ -83,6 +85,14 @@ class PrilPredictor:
         self._previous = _QuantumTracker()
         self._quantum_index = 0
         self.stats = PrilStats()
+        registry = obs.get_registry()
+        self._c_writes = registry.counter("pril.writes_observed")
+        self._c_predictions = registry.counter("pril.predictions")
+        self._c_overflow_drops = registry.counter("pril.buffer_overflow_drops")
+        # The write path is the predictor's hottest loop, so the registry
+        # counter is synced from ``stats`` at quantum granularity rather
+        # than paying an instrument call per write.
+        self._writes_synced = 0
 
     # ------------------------------------------------------------------
     @property
@@ -128,6 +138,7 @@ class PrilPredictor:
                 and len(self._current.buffer) >= self.buffer_capacity
             ):
                 stats.buffer_overflow_drops += 1
+                self._c_overflow_drops.inc()
             else:
                 self._current.buffer.add(page)
 
@@ -146,11 +157,31 @@ class PrilPredictor:
         previous structures and swaps.
         """
         predicted = sorted(self._previous.buffer)
+        self.flush_metrics()
         self.stats.predictions_made += len(predicted)
+        self._c_predictions.inc(len(predicted))
         self._previous.clear()
         self._previous, self._current = self._current, self._previous
         self._quantum_index += 1
+        if obs.trace_active():
+            obs.emit(
+                "pril_quantum",
+                quantum=self._quantum_index,
+                predicted=len(predicted),
+                buffer=len(self._previous.buffer),
+            )
         return predicted
+
+    def flush_metrics(self) -> None:
+        """Sync ``pril.writes_observed`` with writes seen since last sync.
+
+        Runs automatically at every quantum boundary; callers draining a
+        trace that ends mid-quantum call it once at the end of the run.
+        """
+        delta = self.stats.writes_observed - self._writes_synced
+        if delta:
+            self._c_writes.inc(delta)
+            self._writes_synced = self.stats.writes_observed
 
     def reset(self) -> None:
         """Forget all tracked state (quantum counter included)."""
@@ -158,6 +189,7 @@ class PrilPredictor:
         self._previous.clear()
         self._quantum_index = 0
         self.stats = PrilStats()
+        self._writes_synced = 0
 
     # ------------------------------------------------------------------
     def storage_overhead_bytes(

@@ -5,20 +5,36 @@ Usage::
     python -m repro.experiments all          # every figure/table, quick
     python -m repro.experiments fig14 fig17  # a subset
     python -m repro.experiments all --full   # paper-scale settings
+    python -m repro.experiments fig03 --trace t.jsonl --metrics m.json
+
+Result tables go to stdout; progress goes through ``logging`` (stderr),
+tuned with ``--verbose``/``--quiet``. ``--trace`` records the run's
+structured JSONL event stream (see :mod:`repro.obs.trace`), ``--metrics``
+dumps the final metrics-registry snapshot as JSON, and every run that
+produces a file also writes a run manifest — config, seed, git revision,
+per-experiment timings, span tree, metric snapshot — next to it
+(``--manifest`` overrides the location). ``python -m repro.obs.report``
+renders the trace and manifest back into summary tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from .. import obs
 from . import (
     fig03, fig04, fig06, fig07, fig08, fig09, fig11, fig12,
     fig14, fig15, fig16, fig17, fig18, fig19, table3,
 )
 from .common import ExperimentResult
+
+logger = logging.getLogger(__name__)
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig03": fig03.run,
@@ -53,6 +69,33 @@ def run_experiments(
     return [EXPERIMENTS[name](quick=quick, seed=seed) for name in names]
 
 
+def _configure_logging(verbose: bool, quiet: bool) -> None:
+    """Route progress messages to stderr at the requested level."""
+    if verbose:
+        level = logging.DEBUG
+    elif quiet:
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+    root.setLevel(level)
+
+
+def _default_manifest_path(args: argparse.Namespace) -> Optional[str]:
+    """Where the manifest lands when ``--manifest`` is not given."""
+    if args.manifest:
+        return args.manifest
+    for anchor in (args.out, args.metrics, args.trace):
+        if anchor:
+            return os.path.splitext(anchor)[0] + ".manifest.json"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -72,25 +115,104 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write each result table to FILE (markdown code blocks); "
         "the file is truncated at the start of the run",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write the structured JSONL event trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="enable the metrics registry and write its final snapshot "
+        "to FILE as JSON",
+    )
+    parser.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write the run manifest to FILE (default: next to --out, "
+        "--metrics or --trace, whichever is given first)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level progress output",
+    )
+    verbosity.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="warnings only (result tables still print)",
+    )
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
+
+    names = (
+        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}"
+        )
 
     if args.out:
         # Truncate once so each invocation produces a fresh report, then
         # append per experiment so partial output survives a crash.
         with open(args.out, "w"):
             pass
-    for name in (
-        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    ):
-        started = time.time()
-        result = run_experiments([name], quick=not args.full, seed=args.seed)[0]
-        text = result.to_text()
-        print(text)
-        print(f"[{name} finished in {time.time() - started:.1f}s]")
-        print()
-        if args.out:
-            with open(args.out, "a") as handle:
-                handle.write(f"```\n{text}\n```\n\n")
+
+    manifest = obs.RunManifest.start(
+        names, seed=args.seed, quick=not args.full,
+        config={"out": args.out, "trace": args.trace, "metrics": args.metrics},
+    )
+    manifest.trace_path = args.trace
+
+    previous_registry = None
+    if args.metrics:
+        previous_registry = obs.set_registry(obs.MetricsRegistry(enabled=True))
+    sink = obs.JsonlTraceSink(args.trace) if args.trace else None
+    previous_sink = obs.set_sink(sink) if sink is not None else None
+
+    run_started = time.perf_counter()
+    try:
+        obs.emit("run_started", experiments=names, seed=args.seed,
+                 quick=not args.full)
+        with obs.collect_spans("run") as collector:
+            for name in names:
+                started = time.perf_counter()
+                logger.info("running %s (quick=%s, seed=%d)",
+                            name, not args.full, args.seed)
+                obs.emit("experiment_started", experiment=name)
+                with obs.span(name):
+                    result = run_experiments(
+                        [name], quick=not args.full, seed=args.seed
+                    )[0]
+                wall_s = time.perf_counter() - started
+                obs.emit("experiment_finished", experiment=name,
+                         wall_s=wall_s)
+                manifest.add_timing(name, wall_s)
+                logger.info("%s finished in %.1fs", name, wall_s)
+                text = result.to_text()
+                print(text)
+                print()
+                if args.out:
+                    with open(args.out, "a") as handle:
+                        handle.write(f"```\n{text}\n```\n\n")
+        manifest.wall_s = time.perf_counter() - run_started
+        obs.emit("run_finished", wall_s=manifest.wall_s)
+        manifest.spans = collector.to_dict()
+        manifest.metrics = obs.get_registry().snapshot()
+    finally:
+        if sink is not None:
+            obs.set_sink(previous_sink)
+            sink.close()
+        if previous_registry is not None:
+            obs.set_registry(previous_registry)
+
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(manifest.metrics, handle, indent=2)
+            handle.write("\n")
+        logger.info("metrics snapshot written to %s", args.metrics)
+    manifest_path = _default_manifest_path(args)
+    if manifest_path:
+        manifest.write(manifest_path)
+        logger.info("run manifest written to %s", manifest_path)
     return 0
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..dram.timing import DDR3_1600, TimingParameters
 from .bank import BankState, RankState, issue_refresh, service_request
 from .request import Request, RequestKind
@@ -121,9 +122,12 @@ class MemoryController:
         on_read_complete: Optional[Callable[[Request], None]] = None,
         row_refresh: Optional["RowRefreshScheduler"] = None,
         seed: int = 0,
+        channel: int = 0,
     ) -> None:
         if banks <= 0 or rows_per_bank <= 0:
             raise ValueError("banks and rows_per_bank must be positive")
+        if channel < 0:
+            raise ValueError("channel must be non-negative")
         self.timing = timing
         self.banks = [BankState() for _ in range(banks)]
         self.rows_per_bank = rows_per_bank
@@ -132,6 +136,23 @@ class MemoryController:
         self.test_traffic = test_traffic or TestTrafficSettings()
         self.scheduler = FrFcfsScheduler(scheduler_config)
         self.on_read_complete = on_read_complete
+        self.channel = channel
+        self._reads_served = 0
+        self._writes_served = 0
+        self._tests_served = 0
+        self._read_latency_ns = 0.0
+        registry = obs.get_registry()
+        self._c_refreshes = registry.counter("mc.refreshes_issued")
+        self._c_test_injected = registry.counter("mc.test_requests_injected")
+        self._c_served = {
+            RequestKind.READ: registry.counter("mc.reads_served"),
+            RequestKind.WRITE: registry.counter("mc.writes_served"),
+            RequestKind.TEST: registry.counter("mc.test_requests_served"),
+        }
+        self._h_read_latency = registry.histogram(
+            "mc.read_latency_ns",
+            buckets=(25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0),
+        )
         # Row-granularity refresh replaces all-bank REF when supplied.
         self.row_refresh = row_refresh
         self._rng = np.random.default_rng(seed)
@@ -176,6 +197,10 @@ class MemoryController:
         if now_ns >= self._next_refresh_ns:
             issue_refresh(self.rank, self.banks,
                           max(self._next_refresh_ns, now_ns), self.timing)
+            self._c_refreshes.inc()
+            if obs.trace_active():
+                obs.emit("mc_refresh", t_ns=max(self._next_refresh_ns, now_ns),
+                         channel=self.channel)
             self._next_refresh_ns += self.refresh.effective_trefi_ns
         if self.row_refresh is not None:
             self.row_refresh.tick(now_ns, self.banks)
@@ -185,8 +210,9 @@ class MemoryController:
             row = int(self._rng.integers(self.rows_per_bank))
             self.scheduler.enqueue(Request(
                 kind=RequestKind.TEST, core=-1, bank=bank, row=row,
-                arrival_ns=self._next_test_ns,
+                arrival_ns=self._next_test_ns, channel=self.channel,
             ))
+            self._c_test_injected.inc()
             self._next_test_ns += self.test_traffic.request_interval_ns
         # 3. Issue one request if one is eligible right now (banks free,
         # no refresh in progress).
@@ -202,9 +228,26 @@ class MemoryController:
         return self.next_event_ns(now_ns + self.timing.tCK)
 
     def _account(self, request: Request) -> None:
+        self._c_served[request.kind].inc()
         if request.kind is RequestKind.READ:
+            self._reads_served += 1
+            self._read_latency_ns += request.latency_ns
+            self._h_read_latency.observe(request.latency_ns)
             if self.on_read_complete is not None:
                 self.on_read_complete(request)
+        elif request.kind is RequestKind.WRITE:
+            self._writes_served += 1
+        else:
+            self._tests_served += 1
+        if obs.trace_active():
+            obs.emit(
+                "mc_request",
+                t_ns=request.completion_ns,
+                kind_served=request.kind.value,
+                bank=request.bank,
+                latency_ns=request.latency_ns,
+                channel=self.channel,
+            )
 
     # ------------------------------------------------------------------
     def stats(self) -> ControllerStats:
@@ -214,6 +257,10 @@ class MemoryController:
             refreshes += self.row_refresh.commands_issued
             busy_ns += self.row_refresh.busy_ns
         stats = ControllerStats(
+            reads_served=self._reads_served,
+            writes_served=self._writes_served,
+            test_requests_served=self._tests_served,
+            total_read_latency_ns=self._read_latency_ns,
             refreshes_issued=refreshes,
             refresh_busy_ns=busy_ns,
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from .bank import BankState
 from .request import Request, RequestKind
 
@@ -40,20 +41,27 @@ class FrFcfsScheduler:
         self.write_queue: List[Request] = []
         self.test_queue: List[Request] = []
         self._draining_writes = False
+        registry = obs.get_registry()
+        self._c_enqueued = registry.counter("mc.sched.enqueued")
+        self._c_rejected = registry.counter("mc.sched.rejected")
+        self._c_drains = registry.counter("mc.sched.write_drains")
 
     # ------------------------------------------------------------------
     def enqueue(self, request: Request) -> bool:
         """Add a request; returns False when the target queue is full."""
         if request.kind is RequestKind.READ:
             if len(self.read_queue) >= self.config.read_queue_capacity:
+                self._c_rejected.inc()
                 return False
             self.read_queue.append(request)
         elif request.kind is RequestKind.WRITE:
             if len(self.write_queue) >= self.config.write_queue_capacity:
+                self._c_rejected.inc()
                 return False
             self.write_queue.append(request)
         else:
             self.test_queue.append(request)
+        self._c_enqueued.inc()
         return True
 
     @property
@@ -92,6 +100,8 @@ class FrFcfsScheduler:
         """
         cfg = self.config
         if len(self.write_queue) >= cfg.write_queue_drain_threshold:
+            if not self._draining_writes:
+                self._c_drains.inc()
             self._draining_writes = True
         if not self.write_queue:
             self._draining_writes = False

@@ -1,0 +1,86 @@
+"""`repro.obs` — observability for the MEMCON pipeline.
+
+Four cooperating pieces, all near-zero-overhead until switched on:
+
+* **metrics registry** (:mod:`.registry`) — counters, gauges and
+  fixed-bucket histograms, snapshot/reset-able; instruments no-op while
+  the owning registry is disabled (the default).
+* **span timing** (:mod:`.spans`) — ``with span("fill"):`` builds a
+  hierarchical wall-clock profile once a collector is installed.
+* **event trace** (:mod:`.trace`) — schema-versioned JSONL records of
+  test lifecycles, refresh transitions, PRIL decisions and controller
+  activity, written to a pluggable sink.
+* **run manifest** (:mod:`.manifest`) — per-invocation JSON capturing
+  config, seed, git revision, timings and the final metric snapshot.
+
+``python -m repro.obs.report TRACE [--manifest FILE]`` renders a trace
+and manifest into human-readable summary tables.
+"""
+
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    git_revision,
+    load_manifest,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .spans import (
+    SpanCollector,
+    SpanNode,
+    collect_spans,
+    get_collector,
+    set_collector,
+    span,
+    timed,
+)
+from .trace import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JsonlTraceSink,
+    ListTraceSink,
+    TraceSchemaError,
+    emit,
+    get_sink,
+    read_trace,
+    set_sink,
+    trace_active,
+    validate_record,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "git_revision",
+    "load_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "SpanCollector",
+    "SpanNode",
+    "collect_spans",
+    "get_collector",
+    "set_collector",
+    "span",
+    "timed",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "TraceSchemaError",
+    "emit",
+    "get_sink",
+    "read_trace",
+    "set_sink",
+    "trace_active",
+    "validate_record",
+]

@@ -1,0 +1,140 @@
+"""Render a JSONL trace and/or run manifest as human-readable tables.
+
+Usage::
+
+    python -m repro.obs.report t.jsonl                 # trace summary
+    python -m repro.obs.report t.jsonl --manifest m.json
+    python -m repro.obs.report --manifest m.json       # manifest only
+
+The trace summary counts events by kind and reconciles the MEMCON test
+lifecycle (started = aborted + passed + failed); the manifest summary
+prints provenance, per-experiment timings, the span tree and the final
+counter snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .manifest import load_manifest
+from .trace import read_trace
+
+__all__ = ["main", "render_manifest", "render_trace_summary"]
+
+
+def _table(rows: Sequence[Sequence[Any]], header: Sequence[str]) -> str:
+    rendered = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_trace_summary(records: Iterable[dict]) -> str:
+    """Event counts by kind plus the MEMCON lifecycle reconciliation."""
+    kinds: Dict[str, int] = {}
+    total = 0
+    for record in records:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+        total += 1
+    lines = [f"== trace summary: {total} events =="]
+    lines.append(_table(
+        sorted(kinds.items(), key=lambda kv: (-kv[1], kv[0])),
+        header=("kind", "count"),
+    ))
+    started = kinds.get("test_started", 0)
+    resolved = (
+        kinds.get("test_aborted", 0)
+        + kinds.get("test_passed", 0)
+        + kinds.get("test_failed", 0)
+    )
+    if started or resolved:
+        verdict = "OK" if started == resolved else "MISMATCH"
+        lines.append(
+            f"memcon lifecycle: {started} started = "
+            f"{kinds.get('test_aborted', 0)} aborted + "
+            f"{kinds.get('test_passed', 0)} passed + "
+            f"{kinds.get('test_failed', 0)} failed -> {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def _render_span(node: Dict[str, Any], depth: int, out: List[Tuple]) -> None:
+    out.append((
+        "  " * depth + node["name"],
+        f"{node['elapsed_s']:.3f}s",
+        node["count"],
+    ))
+    for child in node.get("children", []):
+        _render_span(child, depth + 1, out)
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Provenance, timings, span tree and counters of one manifest."""
+    lines = [
+        f"== run manifest (schema {manifest.get('schema')}) ==",
+        f"experiments: {', '.join(manifest.get('experiments', []))}",
+        f"seed: {manifest.get('seed')}  quick: {manifest.get('quick')}",
+        f"git: {manifest.get('git_rev') or 'unknown'}  "
+        f"python: {manifest.get('python')}",
+        f"wall: {manifest.get('wall_s', 0.0):.3f}s",
+    ]
+    timings = manifest.get("timings") or []
+    if timings:
+        lines.append("")
+        lines.append(_table(
+            [(t["name"], f"{t['wall_s']:.3f}s") for t in timings],
+            header=("experiment", "wall"),
+        ))
+    spans = manifest.get("spans")
+    if spans:
+        rows: List[Tuple] = []
+        _render_span(spans, 0, rows)
+        lines.append("")
+        lines.append(_table(rows, header=("span", "elapsed", "count")))
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append(_table(
+            sorted(counters.items()), header=("counter", "value")
+        ))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a repro.obs JSONL trace and/or run manifest.",
+    )
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="JSONL trace file written with --trace")
+    parser.add_argument("--manifest", default=None,
+                        help="run manifest JSON written next to the output")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip per-record schema validation")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.manifest is None:
+        parser.error("give a trace file, --manifest, or both")
+    if args.trace is not None:
+        records = read_trace(args.trace, validate=not args.no_validate)
+        print(render_trace_summary(records))
+    if args.manifest is not None:
+        if args.trace is not None:
+            print()
+        print(render_manifest(load_manifest(args.manifest)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Structured JSONL event trace with a pluggable sink.
+
+Instrumented code calls :func:`emit` with an event *kind* plus the
+kind's payload fields; when no sink is installed the call is one module
+attribute load and a ``None`` check. Records are schema-versioned flat
+JSON objects::
+
+    {"v": 1, "kind": "test_started", "t_ms": 2048.0, "page": 17}
+
+The kind registry (:data:`EVENT_KINDS`) names every event the pipeline
+emits and the fields each one must carry, so traces can be validated
+offline (:func:`validate_record`, :func:`read_trace`) and new events are
+a one-line schema addition. Unknown extra fields are allowed — events
+may carry context (workload name, channel id) beyond the schema floor.
+
+Sinks are anything with ``emit(record: dict)``; :class:`JsonlTraceSink`
+writes one compact JSON object per line, :class:`ListTraceSink` buffers
+records in memory for tests and in-process consumers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+__all__ = [
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "TraceSchemaError",
+    "emit",
+    "get_sink",
+    "read_trace",
+    "set_sink",
+    "trace_active",
+    "validate_record",
+]
+
+#: Bump on any backwards-incompatible record-shape change.
+SCHEMA_VERSION = 1
+
+#: Every known event kind -> the fields a record of that kind must carry
+#: (beyond the envelope ``v`` and ``kind``).
+EVENT_KINDS: Dict[str, frozenset] = {
+    # MEMCON test lifecycle (core/memcon.py)
+    "test_started": frozenset({"t_ms", "page"}),
+    "test_aborted": frozenset({"t_ms", "page"}),
+    "test_passed": frozenset({"t_ms", "page"}),
+    "test_failed": frozenset({"t_ms", "page"}),
+    # Refresh-ledger state changes (core/memcon.py)
+    "ref_transition": frozenset({"t_ms", "page", "from", "to"}),
+    # PRIL quantum boundaries (core/pril.py)
+    "pril_quantum": frozenset({"quantum", "predicted", "buffer"}),
+    # Memory-controller events (mc/controller.py)
+    "mc_refresh": frozenset({"t_ns", "channel"}),
+    "mc_request": frozenset({"t_ns", "kind_served", "bank", "latency_ns"}),
+    # SoftMC tester phases (testinfra/softmc.py)
+    "softmc_phase": frozenset({"phase", "rows"}),
+    # System simulator progress (sim/system.py)
+    "sim_progress": frozenset({"t_ns", "core", "instructions"}),
+    # Experiment runner lifecycle (experiments/runner.py)
+    "run_started": frozenset({"experiments"}),
+    "run_finished": frozenset({"wall_s"}),
+    "experiment_started": frozenset({"experiment"}),
+    "experiment_finished": frozenset({"experiment", "wall_s"}),
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not match the event schema."""
+
+
+class JsonlTraceSink:
+    """Writes one compact JSON object per line to a file or stream."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.records_emitted = 0
+
+    def emit(self, record: Mapping) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+        self.records_emitted += 1
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+        else:
+            self._file.flush()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListTraceSink:
+    """Buffers records in memory (tests, in-process analysis)."""
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, record: Mapping) -> None:
+        self.records.append(dict(record))
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds, a common assertion in tests."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        return counts
+
+
+_sink = None
+
+
+def get_sink():
+    return _sink
+
+
+def set_sink(sink) -> object:
+    """Install (or clear, with ``None``) the process trace sink."""
+    global _sink
+    previous = _sink
+    _sink = sink
+    return previous
+
+
+def trace_active() -> bool:
+    """True when events are being recorded (hot paths may pre-check)."""
+    return _sink is not None
+
+
+def emit(kind: str, **fields) -> None:
+    """Emit one event to the installed sink (no-op without a sink)."""
+    sink = _sink
+    if sink is None:
+        return
+    record = {"v": SCHEMA_VERSION, "kind": kind}
+    record.update(fields)
+    sink.emit(record)
+
+
+def validate_record(record: Mapping) -> None:
+    """Raise :class:`TraceSchemaError` unless ``record`` is schema-valid."""
+    if not isinstance(record, Mapping):
+        raise TraceSchemaError(f"record is not an object: {record!r}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise TraceSchemaError(f"unsupported schema version: {version!r}")
+    kind = record.get("kind")
+    if kind not in EVENT_KINDS:
+        raise TraceSchemaError(f"unknown event kind: {kind!r}")
+    missing = EVENT_KINDS[kind] - set(record)
+    if missing:
+        raise TraceSchemaError(
+            f"{kind} record missing fields {sorted(missing)}"
+        )
+
+
+def read_trace(path: str, validate: bool = True) -> Iterator[dict]:
+    """Iterate the records of a JSONL trace file, validating by default."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{line_no}: not valid JSON: {exc}"
+                ) from exc
+            if validate:
+                try:
+                    validate_record(record)
+                except TraceSchemaError as exc:
+                    raise TraceSchemaError(f"{path}:{line_no}: {exc}") from exc
+            yield record

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from .system import SystemResult
@@ -20,15 +21,20 @@ def speedup(result: SystemResult, baseline: SystemResult) -> float:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean, the conventional aggregate for speedups."""
+    """Geometric mean, the conventional aggregate for speedups.
+
+    Computed as ``exp(mean(log(v)))`` rather than the n-th root of the
+    running product: the product of many large (or tiny) speedups
+    overflows to ``inf`` (or underflows to 0) in float64 long before the
+    mean itself leaves the representable range.
+    """
     if not values:
         raise ValueError("values must not be empty")
     if any(v <= 0 for v in values):
         raise ValueError("values must be positive")
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    if len(values) == 1:
+        return float(values[0])  # exact, no log/exp round-trip error
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))
 
 
 def harmonic_mean(values: Sequence[float]) -> float:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..dram.timing import DDR3_1600, TimingParameters, trfc_for_density_ns
 from ..mc.controller import (
     MemoryController,
@@ -146,6 +147,7 @@ class SystemSimulator:
                     if self.config.row_refresh is not None else None
                 ),
                 seed=seed + 1009 * channel,
+                channel=channel,
             )
             for channel in range(self.config.channels)
         ]
@@ -172,10 +174,12 @@ class SystemSimulator:
         self._completed_reads.append(request)
 
     # ------------------------------------------------------------------
+    @obs.timed("sim.run")
     def run(self, window_ns: float) -> SystemResult:
         """Simulate ``window_ns`` of wall-clock time and report results."""
         if window_ns <= 0:
             raise ValueError("window_ns must be positive")
+        self._c_iterations = obs.get_registry().counter("sim.loop_iterations")
         now = 0.0
         guard = 0
         max_iterations = int(window_ns * 50)  # safety net, never binding
@@ -183,6 +187,7 @@ class SystemSimulator:
         tck = self.controllers[0].timing.tCK
         while now < window_ns:
             guard += 1
+            self._c_iterations.inc()
             if guard > max_iterations:
                 raise RuntimeError("simulator failed to make progress")
             # Retry requests that a full queue refused earlier.
@@ -240,6 +245,15 @@ class SystemSimulator:
                     mean_read_latency_ns=mean_latency,
                 )
             )
+            if obs.trace_active():
+                obs.emit(
+                    "sim_progress",
+                    t_ns=window_ns,
+                    core=core.core_id,
+                    instructions=core.instructions_retired,
+                    benchmark=core.benchmark.name,
+                    reads_completed=len(reads),
+                )
         accesses = stats.row_hits + stats.row_misses + stats.row_conflicts
         return SystemResult(
             window_ns=window_ns,

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..dram.cell_array import bits_to_bytes
 from ..dram.device import DramDevice
 from .patterns import DataPattern
@@ -58,6 +59,10 @@ class SoftMCTester:
     def __init__(self, device: DramDevice) -> None:
         self.device = device
         self._now_ms = 0.0
+        registry = obs.get_registry()
+        self._c_rows_filled = registry.counter("softmc.rows_filled")
+        self._c_rows_tested = registry.counter("softmc.rows_tested")
+        self._c_cell_failures = registry.counter("softmc.cell_failures")
 
     @property
     def now_ms(self) -> float:
@@ -71,9 +76,16 @@ class SoftMCTester:
         """Write a data pattern into the given rows (default: whole module)."""
         geometry = self.device.geometry
         target_rows = range(geometry.total_rows) if rows is None else rows
-        for row in target_rows:
-            bits = pattern.row_bits(row, geometry.bits_per_row)
-            self.device.write_row(row, bits_to_bytes(bits), self._now_ms)
+        with obs.span("softmc.fill"):
+            count = 0
+            for row in target_rows:
+                bits = pattern.row_bits(row, geometry.bits_per_row)
+                self.device.write_row(row, bits_to_bytes(bits), self._now_ms)
+                count += 1
+        self._c_rows_filled.inc(count)
+        if obs.trace_active():
+            obs.emit("softmc_phase", phase="fill", rows=count,
+                     pattern=pattern.name)
 
     def fill_content(
         self, content: Dict[int, bytes], replicate: bool = False
@@ -88,17 +100,22 @@ class SoftMCTester:
         if not content:
             raise ValueError("content must not be empty")
         written: List[int] = []
-        if not replicate:
-            for row, data in content.items():
-                self.device.write_row(row, data, self._now_ms)
-                written.append(row)
-            return sorted(written)
-        images = sorted(content.items())
-        n_images = len(images)
-        for row in range(geometry.total_rows):
-            _, data = images[row % n_images]
-            self.device.write_row(row, data, self._now_ms)
-            written.append(row)
+        with obs.span("softmc.fill"):
+            if not replicate:
+                for row, data in content.items():
+                    self.device.write_row(row, data, self._now_ms)
+                    written.append(row)
+                written.sort()
+            else:
+                images = sorted(content.items())
+                n_images = len(images)
+                for row in range(geometry.total_rows):
+                    _, data = images[row % n_images]
+                    self.device.write_row(row, data, self._now_ms)
+                    written.append(row)
+        self._c_rows_filled.inc(len(written))
+        if obs.trace_active():
+            obs.emit("softmc_phase", phase="fill", rows=len(written))
         return written
 
     # ------------------------------------------------------------------
@@ -117,30 +134,41 @@ class SoftMCTester:
         geometry = self.device.geometry
         target_rows = list(range(geometry.total_rows)) if rows is None else list(rows)
 
-        before = {
-            row: self.device.cells.read_row_bits(row) for row in target_rows
-        }
-        self._now_ms += refresh_interval_ms
+        with obs.span("softmc.snapshot"):
+            before = {
+                row: self.device.cells.read_row_bits(row) for row in target_rows
+            }
+        with obs.span("softmc.idle"):
+            self._now_ms += refresh_interval_ms
+        if obs.trace_active():
+            obs.emit("softmc_phase", phase="idle", rows=len(target_rows),
+                     interval_ms=refresh_interval_ms)
         report = FailureReport(
             refresh_interval_ms=refresh_interval_ms,
             rows_tested=len(target_rows),
         )
-        for row in target_rows:
-            observed_bits = np.frombuffer(
-                self.device.read_row(row, self._now_ms), dtype=np.uint8
-            )
-            observed = np.unpackbits(observed_bits, bitorder="little")
-            expected = before[row]
-            diff = np.nonzero(observed != expected)[0]
-            for bit in diff:
-                report.failures.append(
-                    CellFailure(
-                        row_index=row,
-                        bit=int(bit),
-                        expected=int(expected[bit]),
-                        observed=int(observed[bit]),
-                    )
+        with obs.span("softmc.readback"):
+            for row in target_rows:
+                observed_bits = np.frombuffer(
+                    self.device.read_row(row, self._now_ms), dtype=np.uint8
                 )
+                observed = np.unpackbits(observed_bits, bitorder="little")
+                expected = before[row]
+                diff = np.nonzero(observed != expected)[0]
+                for bit in diff:
+                    report.failures.append(
+                        CellFailure(
+                            row_index=row,
+                            bit=int(bit),
+                            expected=int(expected[bit]),
+                            observed=int(observed[bit]),
+                        )
+                    )
+        self._c_rows_tested.inc(len(target_rows))
+        self._c_cell_failures.inc(len(report.failures))
+        if obs.trace_active():
+            obs.emit("softmc_phase", phase="readback", rows=len(target_rows),
+                     failures=len(report.failures))
         return report
 
     # ------------------------------------------------------------------

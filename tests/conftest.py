@@ -5,9 +5,29 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.dram import DramDevice, DramGeometry, TINY_MODULE
 from repro.dram.faults import FaultMap, FaultModelConfig
 from repro.traces.events import WriteTrace
+
+
+@pytest.fixture
+def obs_env():
+    """A fresh enabled registry + in-memory trace sink, restored afterwards.
+
+    Yields ``(registry, sink)``. Tests that exercise instrumented code
+    paths use this so counters and events are recorded without leaking
+    observability state into other tests.
+    """
+    registry = obs.MetricsRegistry(enabled=True)
+    sink = obs.ListTraceSink()
+    previous_registry = obs.set_registry(registry)
+    previous_sink = obs.set_sink(sink)
+    try:
+        yield registry, sink
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_sink(previous_sink)
 
 
 @pytest.fixture

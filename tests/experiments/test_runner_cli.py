@@ -1,7 +1,10 @@
 """Tests for the command-line entry point."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.experiments.runner import main
 
 
@@ -42,3 +45,85 @@ class TestCli:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["fig99"])
+
+    def test_verbose_and_quiet_flags_accepted(self, capsys):
+        assert main(["fig06", "--verbose"]) == 0
+        assert main(["fig06", "--quiet"]) == 0
+        # The result table still prints in quiet mode.
+        assert "min_write_interval_ms" in capsys.readouterr().out
+
+    def test_verbose_and_quiet_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig06", "--verbose", "--quiet"])
+
+
+class TestObservabilityCli:
+    def test_trace_file_is_schema_valid(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["fig06", "--trace", trace_path]) == 0
+        records = list(obs.read_trace(trace_path))  # validates every record
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "run_started"
+        assert kinds[-1] == "run_finished"
+        assert "experiment_started" in kinds
+        assert "experiment_finished" in kinds
+        finished = next(r for r in records if r["kind"] == "experiment_finished")
+        assert finished["experiment"] == "fig06"
+        assert finished["wall_s"] >= 0.0
+
+    def test_trace_sink_uninstalled_after_run(self, tmp_path, capsys):
+        assert obs.get_sink() is None
+        main(["fig06", "--trace", str(tmp_path / "t.jsonl")])
+        assert obs.get_sink() is None
+
+    def test_metrics_snapshot_written(self, tmp_path, capsys):
+        metrics_path = str(tmp_path / "m.json")
+        assert main(["fig14", "--metrics", metrics_path]) == 0
+        snapshot = json.loads((tmp_path / "m.json").read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        # fig14 runs the MEMCON accounting model over real traces.
+        assert snapshot["counters"]["memcon.tests_started"] > 0
+
+    def test_metrics_registry_restored_after_run(self, tmp_path, capsys):
+        before = obs.get_registry()
+        main(["fig06", "--metrics", str(tmp_path / "m.json")])
+        assert obs.get_registry() is before
+
+    def test_manifest_written_next_to_out(self, tmp_path, capsys):
+        out_path = tmp_path / "results.md"
+        assert main(["fig06", "--out", str(out_path)]) == 0
+        manifest = obs.load_manifest(str(tmp_path / "results.manifest.json"))
+        assert manifest["experiments"] == ["fig06"]
+        assert manifest["seed"] == 1
+        assert manifest["quick"] is True
+        assert manifest["timings"][0]["name"] == "fig06"
+        assert manifest["spans"]["children"][0]["name"] == "fig06"
+
+    def test_manifest_derived_from_metrics_path(self, tmp_path, capsys):
+        assert main(["fig06", "--metrics", str(tmp_path / "m.json")]) == 0
+        manifest = obs.load_manifest(str(tmp_path / "m.manifest.json"))
+        assert manifest["metrics"]["counters"] is not None
+
+    def test_manifest_explicit_path(self, tmp_path, capsys):
+        target = tmp_path / "custom.json"
+        assert main(["fig06", "--manifest", str(target)]) == 0
+        assert obs.load_manifest(str(target))["experiments"] == ["fig06"]
+
+    def test_no_flags_means_no_files(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig06"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_trace_and_report_round_trip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig06", "--trace", trace_path,
+                     "--manifest", manifest_path]) == 0
+        capsys.readouterr()
+        from repro.obs.report import main as report_main
+
+        assert report_main([trace_path, "--manifest", manifest_path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "run manifest" in out
+        assert "fig06" in out

@@ -1,0 +1,137 @@
+"""JSONL event-trace schema: emission, sinks, validation, round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    JsonlTraceSink,
+    ListTraceSink,
+    TraceSchemaError,
+    emit,
+    read_trace,
+    set_sink,
+    trace_active,
+    validate_record,
+)
+
+
+@pytest.fixture
+def list_sink():
+    sink = ListTraceSink()
+    previous = set_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_sink(previous)
+
+
+class TestEmit:
+    def test_emit_without_sink_is_noop(self):
+        previous = set_sink(None)
+        try:
+            assert not trace_active()
+            emit("test_started", t_ms=0.0, page=1)  # must not raise
+        finally:
+            set_sink(previous)
+
+    def test_emit_adds_envelope(self, list_sink):
+        emit("test_started", t_ms=5.0, page=3)
+        (record,) = list_sink.records
+        assert record == {
+            "v": SCHEMA_VERSION, "kind": "test_started", "t_ms": 5.0, "page": 3,
+        }
+
+    def test_kinds_histogram(self, list_sink):
+        emit("test_started", t_ms=0.0, page=1)
+        emit("test_started", t_ms=1.0, page=2)
+        emit("test_passed", t_ms=2.0, page=1)
+        assert list_sink.kinds() == {"test_started": 2, "test_passed": 1}
+
+
+class TestValidation:
+    def test_every_kind_round_trips(self):
+        # A minimal record of each declared kind must validate.
+        for kind, fields in EVENT_KINDS.items():
+            record = {"v": SCHEMA_VERSION, "kind": kind}
+            record.update({name: 0 for name in fields})
+            validate_record(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_record({"v": SCHEMA_VERSION, "kind": "nope"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(TraceSchemaError) as err:
+            validate_record({"v": SCHEMA_VERSION, "kind": "test_started"})
+        assert "missing" in str(err.value)
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_record({"v": 999, "kind": "test_started",
+                             "t_ms": 0.0, "page": 0})
+
+    def test_extra_fields_allowed(self):
+        validate_record({
+            "v": SCHEMA_VERSION, "kind": "test_started",
+            "t_ms": 0.0, "page": 0, "workload": "Netflix",
+        })
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceSink(path) as sink:
+            previous = set_sink(sink)
+            try:
+                emit("test_started", t_ms=0.0, page=1)
+                emit("test_passed", t_ms=64.0, page=1)
+                emit("pril_quantum", quantum=1, predicted=3, buffer=2)
+            finally:
+                set_sink(previous)
+            assert sink.records_emitted == 3
+        records = list(read_trace(path))
+        assert [r["kind"] for r in records] == [
+            "test_started", "test_passed", "pril_quantum",
+        ]
+        # One compact JSON object per line.
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["v"] == SCHEMA_VERSION for line in lines)
+
+    def test_stream_sink_does_not_close_stream(self):
+        stream = io.StringIO()
+        sink = JsonlTraceSink(stream)
+        sink.emit({"v": SCHEMA_VERSION, "kind": "run_finished", "wall_s": 1.0})
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue())["kind"] == "run_finished"
+
+    def test_read_trace_rejects_bad_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 1, "kind": "bogus_kind"}\n')
+        with pytest.raises(TraceSchemaError):
+            list(read_trace(str(path)))
+
+    def test_read_trace_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceSchemaError):
+            list(read_trace(str(path)))
+
+    def test_read_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"v": 1, "kind": "run_started", "experiments": []}\n\n'
+        )
+        assert len(list(read_trace(str(path)))) == 1
+
+    def test_no_validate_passes_unknown_kinds(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"v": 1, "kind": "future_kind"}\n')
+        assert list(read_trace(str(path), validate=False)) == [
+            {"v": 1, "kind": "future_kind"}
+        ]

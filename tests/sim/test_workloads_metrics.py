@@ -65,3 +65,18 @@ class TestMeans:
     def test_non_positive_raises(self, fn):
         with pytest.raises(ValueError):
             fn([1.0, 0.0])
+
+    def test_geometric_mean_many_large_values_no_overflow(self):
+        # A running product of these overflows float64 after ~16 terms;
+        # the log-sum formulation must return the exact mean anyway.
+        values = [1e20] * 1000
+        assert geometric_mean(values) == pytest.approx(1e20, rel=1e-12)
+
+    def test_geometric_mean_many_tiny_values_no_underflow(self):
+        values = [1e-20] * 1000
+        assert geometric_mean(values) == pytest.approx(1e-20, rel=1e-12)
+
+    def test_geometric_mean_mixed_large_speedups(self):
+        # 500 speedups of 100x and 500 of 0.01x cancel to exactly 1.0.
+        values = [100.0] * 500 + [0.01] * 500
+        assert geometric_mean(values) == pytest.approx(1.0, rel=1e-9)
