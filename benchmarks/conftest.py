@@ -7,7 +7,11 @@ benchmark normally.
 
 Headline numbers land in ``BENCH_obs.json`` at the repository root (via
 the ``record_bench`` fixture) so successive PRs accumulate a measured
-perf trajectory instead of prose claims.
+perf trajectory instead of prose claims. Re-recording an entry keeps
+the previous values in its ``history`` list (newest last, capped at
+``HISTORY_LIMIT``) instead of overwriting them, so the trajectory
+survives repeated local runs; ``python -m repro.obs.compare`` diffs the
+latest values of two such files.
 """
 
 import json
@@ -22,6 +26,9 @@ from repro import obs
 BENCH_OBS_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_obs.json"
 )
+
+#: Prior recordings kept per entry (newest last).
+HISTORY_LIMIT = 20
 
 
 @pytest.fixture
@@ -64,6 +71,13 @@ def record_bench():
                 data = {}
         entry = dict(fields)
         entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+        # Append, don't overwrite: the displaced entry joins the new
+        # entry's history so the measured trajectory accumulates.
+        previous = data.get(name)
+        if isinstance(previous, dict):
+            history = previous.pop("history", [])
+            history.append(previous)
+            entry["history"] = history[-HISTORY_LIMIT:]
         data[name] = entry
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(data, handle, indent=2, sort_keys=True)

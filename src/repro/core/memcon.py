@@ -150,6 +150,12 @@ def simulate_refresh_reduction(
     content that trips the fault model) always return to HI-REF.
 
     Read-only pages are tested once at time zero when enabled.
+
+    With a trace sink active the model also replays its verdicts as the
+    standard event stream (``pril_quantum``, ``test_*``,
+    ``ref_transition``), emitted in global time order so windowed
+    aggregation over the stream is meaningful. Without a sink the fast
+    path is untouched.
     """
     config = config or MemconConfig()
     if not 0.0 <= failing_page_fraction <= 1.0:
@@ -159,6 +165,11 @@ def simulate_refresh_reduction(
     window = trace.duration_ms
     test_ms = config.test_duration_ms
     cost_ns = test_cost_ns(config.test_mode)
+    emit_trace = obs.trace_active()
+    # (t_ms, order, kind, fields); order ranks pril_quantum events ahead
+    # of the tests they predict at the same boundary instant.
+    trace_events: List[tuple] = []
+    predicted_per_quantum: Dict[int, int] = {}
 
     lo_time_ms = 0.0
     testing_time_ms = 0.0
@@ -197,6 +208,39 @@ def simulate_refresh_reduction(
                 tests_correct += 1
             else:
                 tests_mispredicted += 1
+            if emit_trace:
+                q_start = int(u) + 2
+                predicted_per_quantum[q_start] = (
+                    predicted_per_quantum.get(q_start, 0) + 1
+                )
+                p = int(page)
+                trace_events.append(
+                    (float(boundary), 1, "test_started", {"page": p}))
+                trace_events.append((float(boundary), 1, "ref_transition",
+                                     {"page": p, "from": "hi_ref",
+                                      "to": "testing"}))
+                if idle_until < test_end:
+                    end = float(idle_until)
+                    trace_events.append((end, 1, "test_aborted", {"page": p}))
+                    trace_events.append((end, 1, "ref_transition",
+                                         {"page": p, "from": "testing",
+                                          "to": "hi_ref"}))
+                elif page_fails:
+                    trace_events.append(
+                        (float(test_end), 1, "test_failed", {"page": p}))
+                    trace_events.append((float(test_end), 1, "ref_transition",
+                                         {"page": p, "from": "testing",
+                                          "to": "hi_ref"}))
+                else:
+                    trace_events.append(
+                        (float(test_end), 1, "test_passed", {"page": p}))
+                    trace_events.append((float(test_end), 1, "ref_transition",
+                                         {"page": p, "from": "testing",
+                                          "to": "lo_ref"}))
+                    if idle_until < window:
+                        trace_events.append(
+                            (float(idle_until), 1, "ref_transition",
+                             {"page": p, "from": "lo_ref", "to": "hi_ref"}))
             if page_fails:
                 tests_failed += 1
                 continue
@@ -213,6 +257,34 @@ def simulate_refresh_reduction(
         tests_correct += n_read_only
         testing_time_ms += n_read_only * test_ms
         lo_time_ms += n_ro_passing * max(0.0, window - test_ms)
+        if emit_trace:
+            ro_pages = [
+                p for p in range(trace.total_pages) if p not in written
+            ][:n_read_only]
+            for i, p in enumerate(ro_pages):
+                trace_events.append((0.0, 1, "test_started", {"page": p}))
+                trace_events.append((0.0, 1, "ref_transition",
+                                     {"page": p, "from": "hi_ref",
+                                      "to": "testing"}))
+                outcome = "test_failed" if i < n_ro_failing else "test_passed"
+                state = "hi_ref" if i < n_ro_failing else "lo_ref"
+                trace_events.append(
+                    (float(test_ms), 1, outcome, {"page": p}))
+                trace_events.append((float(test_ms), 1, "ref_transition",
+                                     {"page": p, "from": "testing",
+                                      "to": state}))
+
+    if emit_trace:
+        for q, n in predicted_per_quantum.items():
+            trace_events.append(
+                (q * quantum, 0, "pril_quantum",
+                 {"quantum": q, "predicted": n, "buffer": n}))
+        trace_events.sort(key=lambda e: (e[0], e[1]))
+        for t_ms, _, kind, fields in trace_events:
+            if kind == "pril_quantum":
+                obs.emit(kind, **fields)
+            else:
+                obs.emit(kind, t_ms=t_ms, **fields)
 
     hi_time_ms = trace.total_pages * window - lo_time_ms - testing_time_ms
     refresh_count = (

@@ -15,6 +15,15 @@ produces a file also writes a run manifest — config, seed, git revision,
 per-experiment timings, span tree, metric snapshot — next to it
 (``--manifest`` overrides the location). ``python -m repro.obs.report``
 renders the trace and manifest back into summary tables.
+
+Whenever events flow (``--trace`` or ``--live``), the stream is teed
+through an in-process :class:`repro.obs.AggregatingSink`, whose windowed
+rollups (HI/LO-REF population, test outcomes, PRIL hit rate, controller
+latency percentiles, energy) are stored in the manifest under
+``"timeseries"`` — no re-read of the trace file. ``--live`` adds a
+periodic stderr status line (events/s, LO-REF rows, outstanding tests,
+ETA) driven by the same aggregator; ``--window-ms`` sets the rollup
+window. ``python -m repro.obs.compare OLD NEW`` diffs two manifests.
 """
 
 from __future__ import annotations
@@ -129,6 +138,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the run manifest to FILE (default: next to --out, "
         "--metrics or --trace, whichever is given first)",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="periodic stderr status line (events/s, LO-REF rows, "
+        "outstanding tests, ETA) driven by the in-process aggregator",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=1024.0,
+        help="aggregation window for the manifest's time-series rollups "
+        "(default %(default)s, the MEMCON quantum)",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v", "--verbose", action="store_true",
@@ -158,14 +177,29 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     manifest = obs.RunManifest.start(
         names, seed=args.seed, quick=not args.full,
-        config={"out": args.out, "trace": args.trace, "metrics": args.metrics},
+        config={"out": args.out, "trace": args.trace, "metrics": args.metrics,
+                "live": args.live, "window_ms": args.window_ms},
     )
     manifest.trace_path = args.trace
 
     previous_registry = None
     if args.metrics:
         previous_registry = obs.set_registry(obs.MetricsRegistry(enabled=True))
-    sink = obs.JsonlTraceSink(args.trace) if args.trace else None
+    # Sink stack: JSONL file, in-process aggregator, live reporter — all
+    # fed from the same emit() calls through one tee.
+    jsonl_sink = obs.JsonlTraceSink(args.trace) if args.trace else None
+    aggregator = (
+        obs.AggregatingSink(window_ms=args.window_ms)
+        if (args.trace or args.live) else None
+    )
+    live = obs.LiveReporter(aggregator) if args.live else None
+    sinks = [s for s in (jsonl_sink, aggregator, live) if s is not None]
+    if len(sinks) > 1:
+        sink = obs.TeeSink(*sinks)
+    elif sinks:
+        sink = sinks[0]
+    else:
+        sink = None
     previous_sink = obs.set_sink(sink) if sink is not None else None
 
     run_started = time.perf_counter()
@@ -185,6 +219,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 wall_s = time.perf_counter() - started
                 obs.emit("experiment_finished", experiment=name,
                          wall_s=wall_s)
+                if aggregator is not None:
+                    # Fold the buffered stream between experiments so the
+                    # record buffer never spans more than one experiment.
+                    aggregator.drain()
                 manifest.add_timing(name, wall_s)
                 logger.info("%s finished in %.1fs", name, wall_s)
                 text = result.to_text()
@@ -197,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.emit("run_finished", wall_s=manifest.wall_s)
         manifest.spans = collector.to_dict()
         manifest.metrics = obs.get_registry().snapshot()
+        if aggregator is not None:
+            manifest.timeseries = aggregator.to_dict()
     finally:
         if sink is not None:
             obs.set_sink(previous_sink)

@@ -12,11 +12,32 @@ Four cooperating pieces, all near-zero-overhead until switched on:
   activity, written to a pluggable sink.
 * **run manifest** (:mod:`.manifest`) — per-invocation JSON capturing
   config, seed, git revision, timings and the final metric snapshot.
+* **streaming analytics** (:mod:`.analytics`) — ``TeeSink`` fans the
+  event stream out to the JSONL file and an ``AggregatingSink`` whose
+  windowed rollups (HI/LO-REF population, test outcomes, PRIL hit
+  rate, controller latency percentiles, energy) land in the manifest.
+* **live status** (:mod:`.live`) — a throttled stderr status line
+  (events/s, LO-REF rows, outstanding tests, ETA) over the aggregator.
+* **regression gate** (:mod:`.compare`) — ``python -m repro.obs.compare
+  OLD NEW`` diffs two manifests or ``BENCH_*.json`` files under
+  per-metric noise thresholds and exits non-zero on regression.
 
-``python -m repro.obs.report TRACE [--manifest FILE]`` renders a trace
-and manifest into human-readable summary tables.
+``python -m repro.obs.report TRACE [--manifest FILE] [--timeseries]``
+renders a trace, manifest and rollups into human-readable tables.
 """
 
+from .analytics import (
+    AggregatingSink,
+    TeeSink,
+    aggregate_trace,
+)
+from .compare import (
+    ComparisonResult,
+    MetricDelta,
+    compare_files,
+    compare_metrics,
+)
+from .live import LiveReporter
 from .manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -55,6 +76,14 @@ from .trace import (
 )
 
 __all__ = [
+    "AggregatingSink",
+    "TeeSink",
+    "aggregate_trace",
+    "ComparisonResult",
+    "MetricDelta",
+    "compare_files",
+    "compare_metrics",
+    "LiveReporter",
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
     "git_revision",

@@ -1,0 +1,340 @@
+"""Cross-run regression gate: diff two manifests or two BENCH files.
+
+Usage::
+
+    python -m repro.obs.compare OLD.manifest.json NEW.manifest.json
+    python -m repro.obs.compare BENCH_before.json BENCH_obs.json --threshold 0.30
+    python -m repro.obs.compare OLD NEW --strict            # also fail on vanished metrics
+    python -m repro.obs.compare OLD NEW --warn-only         # report, always exit 0 (CI runners)
+
+Both inputs may be run manifests (written by the experiment runner) or
+``BENCH_*.json`` perf-trajectory files (written by the benchmark
+suite's ``record_bench`` fixture); the format is auto-detected per
+file. Every numeric metric is extracted, classified by *direction*
+(whether an increase is good, bad, or merely informational — inferred
+from the metric name), and compared under a per-metric noise
+threshold:
+
+* explicit ``--metric-threshold NAME=FRACTION`` overrides win,
+* wall-clock metrics (names ending in ``_s``) default to at least
+  ``WALL_CLOCK_THRESHOLD`` (30%) because timings are noisy,
+* everything else uses ``--threshold`` (default 10%).
+
+Exit status: 0 when no tracked metric regressed beyond its threshold
+(or ``--warn-only``), 1 on regression (or, with ``--strict``, when a
+previously tracked metric disappeared), 2 on unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from .manifest import MANIFEST_SCHEMA_VERSION
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "WALL_CLOCK_THRESHOLD",
+    "ComparisonResult",
+    "MetricDelta",
+    "classify_direction",
+    "compare_files",
+    "compare_metrics",
+    "extract_metrics",
+    "main",
+]
+
+DEFAULT_THRESHOLD = 0.10
+#: Noise floor for wall-clock metrics (CI runners vary wildly).
+WALL_CLOCK_THRESHOLD = 0.30
+
+#: Name fragments implying "bigger is better" (checked first).
+_HIGHER_TOKENS = ("speedup", "reduction", "hit_rate", "coverage", "ipc")
+#: Name fragments / suffixes implying "smaller is better".
+_LOWER_TOKENS = ("overhead", "latency", "fraction")
+_LOWER_SUFFIXES = ("_s", "_ns", "_ms")
+
+
+def classify_direction(name: str) -> Optional[str]:
+    """``'higher'`` / ``'lower'`` = which way is *better*; None = info only."""
+    base = name.rsplit(".", 1)[-1].lower()
+    for token in _HIGHER_TOKENS:
+        if token in base:
+            return "higher"
+    for token in _LOWER_TOKENS:
+        if token in base:
+            return "lower"
+    if base.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_manifest(data: Mapping) -> bool:
+    return (
+        isinstance(data, Mapping)
+        and data.get("schema") == MANIFEST_SCHEMA_VERSION
+        and "experiments" in data
+    )
+
+
+def extract_metrics(data: Mapping) -> Dict[str, float]:
+    """Flatten a manifest or BENCH-style file into ``name -> value``."""
+    if _is_manifest(data):
+        return _metrics_of_manifest(data)
+    return _metrics_of_bench(data)
+
+
+def _metrics_of_manifest(data: Mapping) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    if _is_number(data.get("wall_s")):
+        metrics["wall_s"] = float(data["wall_s"])
+    for timing in data.get("timings") or []:
+        if _is_number(timing.get("wall_s")):
+            metrics[f"timing.{timing['name']}_s"] = float(timing["wall_s"])
+    snapshot = data.get("metrics") or {}
+    for name, value in (snapshot.get("counters") or {}).items():
+        if _is_number(value):
+            metrics[f"counter.{name}"] = float(value)
+    for name, value in (snapshot.get("gauges") or {}).items():
+        if _is_number(value):
+            metrics[f"gauge.{name}"] = float(value)
+    return metrics
+
+
+def _metrics_of_bench(data: Mapping) -> Dict[str, float]:
+    metrics: Dict[str, float] = {}
+    for entry_name, entry in data.items():
+        if not isinstance(entry, Mapping):
+            continue
+        for field_name, value in entry.items():
+            if field_name in ("recorded_at", "history"):
+                continue
+            if _is_number(value):
+                metrics[f"{entry_name}.{field_name}"] = float(value)
+    return metrics
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between two runs."""
+
+    name: str
+    old: Optional[float]
+    new: Optional[float]
+    direction: Optional[str]
+    threshold: float
+    rel_change: Optional[float]  # (new - old) / |old|; None when undefined
+    verdict: str  # ok | regression | improvement | info | missing | added
+
+
+@dataclass
+class ComparisonResult:
+    """All deltas plus the gate verdict."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def missing(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.verdict == "missing"]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.regressions:
+            return False
+        if strict and self.missing:
+            return False
+        return True
+
+
+def _resolve_threshold(
+    name: str, threshold: float, overrides: Optional[Mapping[str, float]]
+) -> float:
+    if overrides and name in overrides:
+        return overrides[name]
+    if name.rsplit(".", 1)[-1].endswith("_s"):
+        return max(threshold, WALL_CLOCK_THRESHOLD)
+    return threshold
+
+
+def compare_metrics(
+    old: Mapping[str, float],
+    new: Mapping[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    overrides: Optional[Mapping[str, float]] = None,
+) -> ComparisonResult:
+    """Compare two flat metric maps under per-metric noise thresholds."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    result = ComparisonResult()
+    for name in sorted(set(old) | set(new)):
+        direction = classify_direction(name)
+        limit = _resolve_threshold(name, threshold, overrides)
+        if name not in new:
+            result.deltas.append(MetricDelta(
+                name, old[name], None, direction, limit, None, "missing"))
+            continue
+        if name not in old:
+            result.deltas.append(MetricDelta(
+                name, None, new[name], direction, limit, None, "added"))
+            continue
+        old_value, new_value = old[name], new[name]
+        if old_value == new_value:
+            rel = 0.0
+        elif old_value == 0.0:
+            rel = math.inf if new_value > 0 else -math.inf
+        else:
+            rel = (new_value - old_value) / abs(old_value)
+        if direction is None:
+            verdict = "info"
+        else:
+            worse = rel > limit if direction == "lower" else rel < -limit
+            better = rel < -limit if direction == "lower" else rel > limit
+            verdict = (
+                "regression" if worse else "improvement" if better else "ok"
+            )
+        result.deltas.append(MetricDelta(
+            name, old_value, new_value, direction, limit, rel, verdict))
+    return result
+
+
+def compare_files(
+    old_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    overrides: Optional[Mapping[str, float]] = None,
+) -> ComparisonResult:
+    """Load, auto-detect, flatten and compare two metric files."""
+    with open(old_path, "r", encoding="utf-8") as handle:
+        old_data = json.load(handle)
+    with open(new_path, "r", encoding="utf-8") as handle:
+        new_data = json.load(handle)
+    return compare_metrics(
+        extract_metrics(old_data), extract_metrics(new_data),
+        threshold=threshold, overrides=overrides,
+    )
+
+
+# ----------------------------------------------------------------------
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _format_change(rel: Optional[float]) -> str:
+    if rel is None:
+        return "-"
+    if math.isinf(rel):
+        return "+inf%" if rel > 0 else "-inf%"
+    return f"{rel:+.1%}"
+
+
+def render_comparison(result: ComparisonResult, verbose: bool = False) -> str:
+    """Human-readable diff; quiet metrics are elided unless ``verbose``."""
+    interesting = {"regression", "improvement", "missing", "added"}
+    lines: List[str] = []
+    shown = 0
+    for delta in result.deltas:
+        if not verbose and delta.verdict not in interesting:
+            continue
+        shown += 1
+        lines.append(
+            f"{delta.verdict.upper():<11} {delta.name}: "
+            f"{_format_value(delta.old)} -> {_format_value(delta.new)} "
+            f"({_format_change(delta.rel_change)}, "
+            f"threshold {delta.threshold:.0%}"
+            + (f", {delta.direction} is better)" if delta.direction else ")")
+        )
+    counted = len(result.deltas)
+    regressions = len(result.regressions)
+    summary = (
+        f"{counted} metrics compared, {regressions} regression(s), "
+        f"{len(result.missing)} missing"
+    )
+    if not shown:
+        lines.append("(no metric moved beyond its threshold)")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _parse_override(spec: str) -> tuple:
+    name, _, value = spec.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=FRACTION, got {spec!r}")
+    try:
+        fraction = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"threshold in {spec!r} is not a number") from exc
+    if fraction < 0:
+        raise argparse.ArgumentTypeError("threshold must be non-negative")
+    return name, fraction
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two run manifests or BENCH_*.json files and "
+        "gate on perf regressions.",
+    )
+    parser.add_argument("old", help="baseline manifest or BENCH json")
+    parser.add_argument("new", help="candidate manifest or BENCH json")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="global relative noise threshold (default %(default)s)",
+    )
+    parser.add_argument(
+        "--metric-threshold", action="append", type=_parse_override,
+        default=[], metavar="NAME=FRACTION",
+        help="per-metric threshold override (repeatable)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (noisy CI runners)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a previously tracked metric disappeared",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print every compared metric, not just the movers",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = compare_files(
+            args.old, args.new,
+            threshold=args.threshold,
+            overrides=dict(args.metric_threshold),
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_comparison(result, verbose=args.verbose))
+    if result.ok(strict=args.strict):
+        return 0
+    if args.warn_only:
+        print("warning: regression detected (exit suppressed by --warn-only)",
+              file=sys.stderr)
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,8 @@ class RunManifest:
     timings: List[Dict[str, Any]] = field(default_factory=list)
     spans: Optional[Dict[str, Any]] = None
     metrics: Optional[Dict[str, Any]] = None
+    #: Windowed rollups from the in-process aggregator (analytics.py).
+    timeseries: Optional[Dict[str, Any]] = None
     trace_path: Optional[str] = None
     wall_s: float = 0.0
 
@@ -101,6 +103,7 @@ class RunManifest:
             "timings": self.timings,
             "spans": self.spans,
             "metrics": self.metrics,
+            "timeseries": self.timeseries,
             "trace_path": self.trace_path,
         }
 

@@ -5,11 +5,14 @@ Usage::
     python -m repro.obs.report t.jsonl                 # trace summary
     python -m repro.obs.report t.jsonl --manifest m.json
     python -m repro.obs.report --manifest m.json       # manifest only
+    python -m repro.obs.report t.jsonl --timeseries    # windowed rollups
 
 The trace summary counts events by kind and reconciles the MEMCON test
 lifecycle (started = aborted + passed + failed); the manifest summary
 prints provenance, per-experiment timings, the span tree and the final
-counter snapshot.
+counter snapshot. ``--timeseries`` renders the windowed rollups — the
+manifest's stored ``timeseries`` when present, otherwise recomputed
+from the trace file via :func:`repro.obs.analytics.aggregate_trace`.
 """
 
 from __future__ import annotations
@@ -18,10 +21,16 @@ import argparse
 import sys
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .analytics import aggregate_trace
 from .manifest import load_manifest
 from .trace import read_trace
 
-__all__ = ["main", "render_manifest", "render_trace_summary"]
+__all__ = [
+    "main",
+    "render_manifest",
+    "render_timeseries",
+    "render_trace_summary",
+]
 
 
 def _table(rows: Sequence[Sequence[Any]], header: Sequence[str]) -> str:
@@ -112,6 +121,74 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _fmt_fraction(value: Optional[float]) -> str:
+    return f"{value:.1%}" if value is not None else "-"
+
+
+def _fmt_opt(value: Optional[float], spec: str = ".0f") -> str:
+    return format(value, spec) if value is not None else "-"
+
+
+def render_timeseries(timeseries: Dict[str, Any]) -> str:
+    """Windowed rollups: HI/LO-REF population, tests, MC, PRIL, energy."""
+    window_ms = timeseries.get("window_ms", 0.0)
+    lines = [
+        f"== time series: {timeseries.get('events_total', 0)} events, "
+        f"{window_ms:g} ms windows ==",
+    ]
+    windows = timeseries.get("windows") or []
+    if windows:
+        rows = []
+        for w in windows:
+            tests = w.get("tests") or {}
+            ref = w.get("ref")
+            mc = w.get("mc")
+            rows.append((
+                f"{w['t_ms']:g}",
+                _fmt_fraction(ref and ref.get("lo_fraction")),
+                _fmt_fraction(ref and ref.get("hi_fraction")),
+                tests.get("started", 0),
+                tests.get("passed", 0),
+                tests.get("failed", 0),
+                tests.get("aborted", 0),
+                mc["requests"] if mc else "-",
+                _fmt_opt(mc and mc.get("latency_p95_ns")),
+                _fmt_opt(mc and mc.get("refresh_per_s"), ".1f"),
+            ))
+        lines.append(_table(rows, header=(
+            "t_ms", "lo%", "hi%", "start", "pass", "fail", "abort",
+            "mc_req", "p95_ns", "ref/s",
+        )))
+    pril = timeseries.get("pril") or []
+    if pril:
+        lines.append("")
+        lines.append(_table(
+            [
+                (
+                    q["quantum"], q["predicted"], q["buffer"], q["started"],
+                    q["resolved"], q["aborted"],
+                    _fmt_fraction(q.get("hit_rate")),
+                )
+                for q in pril
+            ],
+            header=("quantum", "predicted", "buffer", "started",
+                    "resolved", "aborted", "hit_rate"),
+        ))
+    energy = timeseries.get("energy")
+    if energy:
+        totals = energy.get("totals") or {}
+        lines.append("")
+        lines.append(
+            f"energy ({len(energy.get('rollups') or [])} rollups): "
+            f"refresh {totals.get('refresh_pj', 0.0):.1f} pJ, "
+            f"access {totals.get('access_pj', 0.0):.1f} pJ, "
+            f"background {totals.get('background_pj', 0.0):.1f} pJ"
+        )
+    if not windows and not pril and not energy:
+        lines.append("(no windowed events in this run)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -123,16 +200,39 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run manifest JSON written next to the output")
     parser.add_argument("--no-validate", action="store_true",
                         help="skip per-record schema validation")
+    parser.add_argument("--timeseries", action="store_true",
+                        help="also render windowed rollups (from the "
+                        "manifest when stored, else from the trace)")
+    parser.add_argument("--window-ms", type=float, default=1024.0,
+                        help="window width when recomputing rollups from "
+                        "the trace (default %(default)s)")
+    parser.add_argument("--tolerate-truncation", action="store_true",
+                        help="skip a partial final trace line (killed run)")
     args = parser.parse_args(argv)
     if args.trace is None and args.manifest is None:
         parser.error("give a trace file, --manifest, or both")
+    sections: List[str] = []
     if args.trace is not None:
-        records = read_trace(args.trace, validate=not args.no_validate)
-        print(render_trace_summary(records))
-    if args.manifest is not None:
-        if args.trace is not None:
-            print()
-        print(render_manifest(load_manifest(args.manifest)))
+        records = list(read_trace(
+            args.trace,
+            validate=not args.no_validate,
+            tolerate_truncation=args.tolerate_truncation,
+        ))
+        sections.append(render_trace_summary(records))
+    manifest = load_manifest(args.manifest) if args.manifest else None
+    if manifest is not None:
+        sections.append(render_manifest(manifest))
+    if args.timeseries:
+        timeseries = (manifest or {}).get("timeseries")
+        if timeseries is None:
+            if args.trace is None:
+                parser.error(
+                    "--timeseries needs a trace file or a manifest that "
+                    "stored rollups"
+                )
+            timeseries = aggregate_trace(records, window_ms=args.window_ms)
+        sections.append(render_timeseries(timeseries))
+    print("\n\n".join(sections))
     return 0
 
 

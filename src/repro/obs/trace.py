@@ -60,6 +60,10 @@ EVENT_KINDS: Dict[str, frozenset] = {
     "softmc_phase": frozenset({"phase", "rows"}),
     # System simulator progress (sim/system.py)
     "sim_progress": frozenset({"t_ns", "core", "instructions"}),
+    # Energy accounting per simulated window (sim/energy.py)
+    "energy_rollup": frozenset(
+        {"window_ns", "refresh_pj", "access_pj", "background_pj"}
+    ),
     # Experiment runner lifecycle (experiments/runner.py)
     "run_started": frozenset({"experiments"}),
     "run_finished": frozenset({"wall_s"}),
@@ -73,21 +77,36 @@ class TraceSchemaError(ValueError):
 
 
 class JsonlTraceSink:
-    """Writes one compact JSON object per line to a file or stream."""
+    """Writes one compact JSON object per line to a file or stream.
 
-    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+    The sink flushes every ``flush_every`` records (default 1000, 0
+    disables periodic flushing) so a killed run leaves at most that many
+    records unwritten — paired with ``read_trace(...,
+    tolerate_truncation=True)`` the surviving prefix stays analysable.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, io.TextIOBase],
+        flush_every: int = 1000,
+    ) -> None:
+        if flush_every < 0:
+            raise ValueError("flush_every must be non-negative")
         if isinstance(target, str):
             self._file = open(target, "w", encoding="utf-8")
             self._owns_file = True
         else:
             self._file = target
             self._owns_file = False
+        self.flush_every = flush_every
         self.records_emitted = 0
 
     def emit(self, record: Mapping) -> None:
         self._file.write(json.dumps(record, separators=(",", ":")))
         self._file.write("\n")
         self.records_emitted += 1
+        if self.flush_every and self.records_emitted % self.flush_every == 0:
+            self._file.flush()
 
     def close(self) -> None:
         if self._owns_file:
@@ -114,8 +133,13 @@ class ListTraceSink:
     def kinds(self) -> Dict[str, int]:
         """Histogram of record kinds, a common assertion in tests."""
         counts: Dict[str, int] = {}
-        for record in self.records:
-            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        for index, record in enumerate(self.records):
+            kind = record.get("kind")
+            if kind is None:
+                raise TraceSchemaError(
+                    f"buffered record {index} has no 'kind' field: {record!r}"
+                )
+            counts[kind] = counts.get(kind, 0) + 1
         return counts
 
 
@@ -149,6 +173,10 @@ def emit(kind: str, **fields) -> None:
     sink.emit(record)
 
 
+#: Fields that must hold a plain number (not bool) whenever present.
+_NUMERIC_FIELDS = frozenset({"t_ms", "t_ns", "latency_ns", "wall_s"})
+
+
 def validate_record(record: Mapping) -> None:
     """Raise :class:`TraceSchemaError` unless ``record`` is schema-valid."""
     if not isinstance(record, Mapping):
@@ -164,10 +192,26 @@ def validate_record(record: Mapping) -> None:
         raise TraceSchemaError(
             f"{kind} record missing fields {sorted(missing)}"
         )
+    for name in _NUMERIC_FIELDS & set(record):
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TraceSchemaError(
+                f"{kind} field {name!r} must be numeric, got {value!r}"
+            )
 
 
-def read_trace(path: str, validate: bool = True) -> Iterator[dict]:
-    """Iterate the records of a JSONL trace file, validating by default."""
+def read_trace(
+    path: str,
+    validate: bool = True,
+    tolerate_truncation: bool = False,
+) -> Iterator[dict]:
+    """Iterate the records of a JSONL trace file, validating by default.
+
+    ``tolerate_truncation=True`` silently drops a partial *final* line —
+    the signature a killed run leaves behind — so the surviving prefix
+    is still analysable. Malformed lines with valid lines after them are
+    corruption, not truncation, and raise either way.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -176,6 +220,10 @@ def read_trace(path: str, validate: bool = True) -> Iterator[dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if tolerate_truncation:
+                    remainder = (rest.strip() for rest in handle)
+                    if not any(remainder):
+                        return  # partial final line: a truncated trace
                 raise TraceSchemaError(
                     f"{path}:{line_no}: not valid JSON: {exc}"
                 ) from exc

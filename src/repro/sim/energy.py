@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..mc.controller import ControllerStats
-from .system import SystemResult
 
 
 @dataclass(frozen=True)
@@ -68,19 +68,38 @@ def energy_of_run(
     window_ns: float,
     density_gbit: int = 8,
     params: Optional[EnergyParameters] = None,
+    channel: Optional[int] = None,
 ) -> EnergyBreakdown:
-    """Convert controller statistics into an energy breakdown."""
+    """Convert controller statistics into an energy breakdown.
+
+    When a trace sink is active, every call also emits an
+    ``energy_rollup`` event (refresh / access / background picojoule
+    totals for the window, plus the optional ``channel`` context), so
+    fig14-style energy claims are traceable through the same aggregation
+    pipeline as the rest of the run.
+    """
     if window_ns <= 0:
         raise ValueError("window_ns must be positive")
     params = params or EnergyParameters()
     accesses = stats.row_hits + stats.row_misses + stats.row_conflicts
     activations = stats.row_misses + stats.row_conflicts
-    return EnergyBreakdown(
+    breakdown = EnergyBreakdown(
         activate_nj=activations * params.activate_nj,
         read_write_nj=accesses * params.read_nj,
         refresh_nj=stats.refreshes_issued * params.refresh_nj(density_gbit),
         background_nj=params.background_w * window_ns * 1e-9 * 1e9,
     )
+    if obs.trace_active():
+        context = {} if channel is None else {"channel": channel}
+        obs.emit(
+            "energy_rollup",
+            window_ns=window_ns,
+            refresh_pj=breakdown.refresh_nj * 1e3,
+            access_pj=(breakdown.activate_nj + breakdown.read_write_nj) * 1e3,
+            background_pj=breakdown.background_nj * 1e3,
+            **context,
+        )
+    return breakdown
 
 
 def refresh_energy_savings(

@@ -25,6 +25,7 @@ from ..mc.request import Request, RequestKind
 from ..mc.rowrefresh import RowRefreshScheduler, RowRefreshSettings
 from ..traces.spec import BenchmarkProfile, get_benchmark
 from .core import CoreConfig, TraceCore
+from .energy import energy_of_run
 
 
 @dataclass
@@ -253,6 +254,15 @@ class SystemSimulator:
                     instructions=core.instructions_retired,
                     benchmark=core.benchmark.name,
                     reads_completed=len(reads),
+                )
+        if obs.trace_active():
+            # Per-channel energy rollups ride the trace (energy_rollup
+            # events) so energy claims are replayable from the stream.
+            for controller in self.controllers:
+                energy_of_run(
+                    controller.stats(), window_ns,
+                    density_gbit=self.config.density_gbit,
+                    channel=controller.channel,
                 )
         accesses = stats.row_hits + stats.row_misses + stats.row_conflicts
         return SystemResult(

@@ -162,3 +162,70 @@ class TestFastVsControllerAbortAccounting:
         )
         assert fast.tests_aborted == slow.tests_aborted
         assert fast.tests_total == slow.tests_total
+
+
+class TestFastModelEventStream:
+    """The accounting model replays its verdicts as a valid event stream."""
+
+    def test_stream_is_schema_valid_and_time_ordered(self, busy_trace, obs_env):
+        from repro import obs as obs_mod
+
+        _, sink = obs_env
+        simulate_refresh_reduction(busy_trace, MemconConfig(quantum_ms=1024.0))
+        assert sink.records
+        for record in sink.records:
+            obs_mod.validate_record(record)
+        stamps = [r["t_ms"] for r in sink.records if "t_ms" in r]
+        assert stamps == sorted(stamps)
+
+    def test_lifecycle_reconciles_with_report(self, busy_trace, obs_env):
+        _, sink = obs_env
+        report = simulate_refresh_reduction(
+            busy_trace, MemconConfig(quantum_ms=1024.0)
+        )
+        kinds = sink.kinds()
+        assert kinds["test_started"] == report.tests_total
+        assert kinds["test_started"] == (
+            kinds.get("test_aborted", 0)
+            + kinds.get("test_passed", 0)
+            + kinds.get("test_failed", 0)
+        )
+        assert kinds.get("test_aborted", 0) == report.tests_aborted
+
+    def test_pril_events_predict_the_tests_started(self, busy_trace, obs_env):
+        from repro import obs as obs_mod
+
+        _, sink = obs_env
+        simulate_refresh_reduction(busy_trace, MemconConfig(quantum_ms=1024.0))
+        rollup = obs_mod.aggregate_trace(sink.records, window_ms=1024.0)
+        for quantum in rollup["pril"]:
+            assert quantum["started"] == quantum["predicted"]
+            assert quantum["resolved"] + quantum["aborted"] == (
+                quantum["started"]
+            )
+
+    def test_transitions_keep_population_consistent(self, busy_trace, obs_env):
+        from repro import obs as obs_mod
+
+        _, sink = obs_env
+        simulate_refresh_reduction(busy_trace, MemconConfig(quantum_ms=1024.0))
+        aggregator = obs_mod.AggregatingSink(
+            window_ms=1024.0, total_pages=busy_trace.total_pages
+        )
+        for record in sink.records:
+            aggregator.emit(record)
+        assert 0 <= aggregator.rows_lo <= busy_trace.total_pages
+        assert aggregator.rows_testing == 0  # every test ended
+        assert aggregator.tests_outstanding == 0
+
+    def test_no_sink_means_no_event_work(self, busy_trace):
+        from repro import obs as obs_mod
+
+        previous = obs_mod.set_sink(None)
+        try:
+            report = simulate_refresh_reduction(
+                busy_trace, MemconConfig(quantum_ms=1024.0)
+            )
+            assert report.tests_total > 0
+        finally:
+            obs_mod.set_sink(previous)

@@ -127,3 +127,85 @@ class TestObservabilityCli:
         assert "trace summary" in out
         assert "run manifest" in out
         assert "fig06" in out
+
+
+class TestAnalyticsCli:
+    def test_traced_run_stores_timeseries_in_manifest(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig14", "--trace", trace_path,
+                     "--manifest", manifest_path]) == 0
+        manifest = obs.load_manifest(manifest_path)
+        timeseries = manifest["timeseries"]
+        assert timeseries["window_ms"] == 1024.0
+        assert timeseries["events_total"] > 0
+        # fig14 runs MEMCON over real traces: test outcomes and ref
+        # populations must show up in the windows.
+        assert any(w["tests"]["started"] for w in timeseries["windows"])
+        assert any(w["ref"] for w in timeseries["windows"])
+        # The stored rollups match an offline re-aggregation of the file.
+        offline = obs.aggregate_trace(
+            obs.read_trace(trace_path), window_ms=1024.0
+        )
+        assert offline == timeseries
+
+    def test_window_ms_flag_controls_rollup_width(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig06", "--trace", str(tmp_path / "t.jsonl"),
+                     "--manifest", manifest_path,
+                     "--window-ms", "512"]) == 0
+        manifest = obs.load_manifest(manifest_path)
+        assert manifest["timeseries"]["window_ms"] == 512.0
+        assert manifest["config"]["window_ms"] == 512.0
+
+    def test_untraced_run_has_no_timeseries(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig06", "--manifest", manifest_path]) == 0
+        assert obs.load_manifest(manifest_path)["timeseries"] is None
+
+    def test_live_prints_status_lines(self, tmp_path, capsys):
+        # interval throttling is wall-clock; the close() summary line is
+        # the deterministic part of the contract.
+        assert main(["fig06", "--live"]) == 0
+        err = capsys.readouterr().err
+        assert "[live]" in err
+        assert "tests outstanding" in err
+
+    def test_live_without_trace_leaves_no_files(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig06", "--live"]) == 0
+        assert list(tmp_path.iterdir()) == []
+        assert obs.get_sink() is None
+
+    def test_report_timeseries_from_manifest(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig14", "--trace", trace_path,
+                     "--manifest", manifest_path]) == 0
+        capsys.readouterr()
+        from repro.obs.report import main as report_main
+
+        assert report_main(["--manifest", manifest_path,
+                            "--timeseries"]) == 0
+        out = capsys.readouterr().out
+        assert "time series" in out
+        assert "lo%" in out
+
+    def test_report_timeseries_recomputed_from_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(["fig14", "--trace", trace_path]) == 0
+        capsys.readouterr()
+        from repro.obs.report import main as report_main
+
+        assert report_main([trace_path, "--timeseries"]) == 0
+        assert "time series" in capsys.readouterr().out
+
+    def test_report_timeseries_needs_a_source(self, tmp_path, capsys):
+        manifest_path = str(tmp_path / "run.json")
+        assert main(["fig06", "--manifest", manifest_path]) == 0
+        capsys.readouterr()
+        from repro.obs.report import main as report_main
+
+        with pytest.raises(SystemExit):
+            report_main(["--manifest", manifest_path, "--timeseries"])

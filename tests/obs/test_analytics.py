@@ -1,0 +1,304 @@
+"""Streaming analytics: TeeSink fan-out and AggregatingSink rollups."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import MemconConfig, MemconController
+from repro.obs.analytics import (
+    LATENCY_BUCKET_BOUNDS_NS,
+    AggregatingSink,
+    TeeSink,
+    aggregate_trace,
+)
+from repro.traces.events import WriteTrace
+
+V = obs.SCHEMA_VERSION
+
+
+def _rec(kind, **fields):
+    record = {"v": V, "kind": kind}
+    record.update(fields)
+    return record
+
+
+class TestTeeSink:
+    __test__ = True
+
+    def test_fans_out_in_order(self):
+        first, second = obs.ListTraceSink(), obs.ListTraceSink()
+        tee = TeeSink(first, second)
+        tee.emit(_rec("run_started", experiments=["fig06"]))
+        tee.emit(_rec("run_finished", wall_s=1.0))
+        assert [r["kind"] for r in first.records] == [
+            "run_started", "run_finished"]
+        assert first.records == second.records
+
+    def test_needs_at_least_one_sink(self):
+        with pytest.raises(ValueError):
+            TeeSink()
+
+    def test_close_closes_closable_children(self):
+        stream = io.StringIO()
+        jsonl = obs.JsonlTraceSink(stream)
+        listsink = obs.ListTraceSink()  # has no close(); must not break
+        tee = TeeSink(jsonl, listsink)
+        tee.emit(_rec("run_finished", wall_s=0.5))
+        tee.close()
+        assert json.loads(stream.getvalue())["kind"] == "run_finished"
+
+    def test_close_raises_first_error_but_closes_all(self):
+        class Exploding:
+            closed = False
+
+            def emit(self, record):
+                pass
+
+            def close(self):
+                self.closed = True
+                raise RuntimeError("boom")
+
+        a, b = Exploding(), Exploding()
+        tee = TeeSink(a, b)
+        with pytest.raises(RuntimeError):
+            tee.close()
+        assert a.closed and b.closed
+
+
+class TestAggregatingSinkUnits:
+    __test__ = True
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AggregatingSink(window_ms=0.0)
+        with pytest.raises(ValueError):
+            AggregatingSink(total_pages=0)
+
+    def test_ref_population_sampled_per_window(self):
+        sink = AggregatingSink(window_ms=100.0, total_pages=4)
+        sink.emit(_rec("ref_transition", t_ms=10.0, page=0,
+                       **{"from": "hi_ref", "to": "lo_ref"}))
+        sink.emit(_rec("ref_transition", t_ms=20.0, page=1,
+                       **{"from": "hi_ref", "to": "testing"}))
+        # Crossing into window 1 samples window 0's closing state.
+        sink.emit(_rec("ref_transition", t_ms=150.0, page=1,
+                       **{"from": "testing", "to": "hi_ref"}))
+        rollup = sink.to_dict()
+        by_index = {w["index"]: w for w in rollup["windows"]}
+        assert by_index[0]["ref"] == {
+            "lo_rows": 1, "testing_rows": 1, "total_rows": 4,
+            "lo_fraction": 0.25, "testing_fraction": 0.25,
+            "hi_fraction": 0.5,
+        }
+        # The in-progress window is sampled at to_dict() time.
+        assert by_index[1]["ref"]["testing_rows"] == 0
+        assert by_index[1]["ref"]["lo_rows"] == 1
+
+    def test_live_counters_track_population(self):
+        sink = AggregatingSink()
+        assert sink.rows_lo == 0 and sink.tests_outstanding == 0
+        sink.emit(_rec("test_started", t_ms=0.0, page=3))
+        assert sink.tests_outstanding == 1
+        sink.emit(_rec("ref_transition", t_ms=0.0, page=3,
+                       **{"from": "hi_ref", "to": "testing"}))
+        assert sink.rows_testing == 1
+        sink.emit(_rec("test_passed", t_ms=64.0, page=3))
+        sink.emit(_rec("ref_transition", t_ms=64.0, page=3,
+                       **{"from": "testing", "to": "lo_ref"}))
+        assert sink.tests_outstanding == 0
+        assert sink.rows_lo == 1
+
+    def test_test_outcomes_counted_in_their_own_window(self):
+        sink = AggregatingSink(window_ms=100.0)
+        sink.emit(_rec("test_started", t_ms=90.0, page=1))
+        sink.emit(_rec("test_passed", t_ms=190.0, page=1))
+        rollup = sink.to_dict()
+        by_index = {w["index"]: w for w in rollup["windows"]}
+        assert by_index[0]["tests"]["started"] == 1
+        assert by_index[0]["tests"]["passed"] == 0
+        assert by_index[1]["tests"]["passed"] == 1
+
+    def test_pril_hit_rate_attribution(self):
+        sink = AggregatingSink()
+        sink.emit(_rec("pril_quantum", quantum=1, predicted=2, buffer=5))
+        sink.emit(_rec("test_started", t_ms=1024.0, page=1))
+        sink.emit(_rec("test_started", t_ms=1024.0, page=2))
+        sink.emit(_rec("test_passed", t_ms=1088.0, page=1))
+        sink.emit(_rec("test_aborted", t_ms=1100.0, page=2))
+        (quantum,) = sink.to_dict()["pril"]
+        assert quantum["predicted"] == 2
+        assert quantum["started"] == 2
+        assert quantum["resolved"] == 1
+        assert quantum["aborted"] == 1
+        assert quantum["hit_rate"] == 0.5
+
+    def test_read_only_tests_do_not_pollute_pril(self):
+        sink = AggregatingSink()
+        # Start-up read-only sweep happens before any pril_quantum event.
+        sink.emit(_rec("test_started", t_ms=0.0, page=9))
+        sink.emit(_rec("test_passed", t_ms=64.0, page=9))
+        sink.emit(_rec("pril_quantum", quantum=1, predicted=0, buffer=0))
+        (quantum,) = sink.to_dict()["pril"]
+        assert quantum["started"] == 0 and quantum["resolved"] == 0
+
+    def test_mc_window_latency_and_refresh_bandwidth(self):
+        sink = AggregatingSink(window_ms=1.0)  # 1 ms windows = 1e6 ns
+        for latency in (30.0, 30.0, 30.0, 900.0):
+            sink.emit(_rec("mc_request", t_ns=5_000.0, kind_served="read",
+                           bank=0, latency_ns=latency))
+        sink.emit(_rec("mc_refresh", t_ns=5_000.0, channel=0))
+        sink.emit(_rec("mc_refresh", t_ns=9_000.0, channel=0))
+        (window,) = sink.to_dict()["windows"]
+        mc = window["mc"]
+        assert mc["requests"] == 4
+        assert mc["latency_p50_ns"] == 50.0     # 3 of 4 in (25, 50]
+        assert mc["latency_p95_ns"] == 1600.0   # tail bucket bound
+        assert mc["latency_mean_ns"] == pytest.approx((3 * 30 + 900) / 4)
+        assert mc["refreshes"] == 2
+        assert mc["refresh_per_s"] == pytest.approx(2 / 1e-3)
+
+    def test_latency_beyond_last_bound_reports_none(self):
+        sink = AggregatingSink(window_ms=1.0)
+        sink.emit(_rec("mc_request", t_ns=0.0, kind_served="read",
+                       bank=0, latency_ns=LATENCY_BUCKET_BOUNDS_NS[-1] * 10))
+        (window,) = sink.to_dict()["windows"]
+        assert window["mc"]["latency_p50_ns"] is None
+
+    def test_energy_rollups_accumulate(self):
+        sink = AggregatingSink()
+        sink.emit(_rec("energy_rollup", window_ns=1e6, refresh_pj=10.0,
+                       access_pj=5.0, background_pj=1.0, channel=0))
+        sink.emit(_rec("energy_rollup", window_ns=1e6, refresh_pj=20.0,
+                       access_pj=5.0, background_pj=1.0, channel=1))
+        energy = sink.to_dict()["energy"]
+        assert len(energy["rollups"]) == 2
+        assert energy["rollups"][1]["channel"] == 1
+        assert energy["totals"] == {
+            "refresh_pj": 30.0, "access_pj": 10.0, "background_pj": 2.0,
+        }
+
+    def test_to_dict_is_idempotent(self):
+        sink = AggregatingSink(window_ms=100.0)
+        sink.emit(_rec("test_started", t_ms=42.0, page=1))
+        sink.emit(_rec("ref_transition", t_ms=42.0, page=1,
+                       **{"from": "hi_ref", "to": "testing"}))
+        first = sink.to_dict()
+        assert sink.to_dict() == first
+
+    def test_unknown_kinds_only_counted(self):
+        sink = AggregatingSink()
+        sink.emit(_rec("softmc_phase", phase="fill", rows=8))
+        rollup = sink.to_dict()
+        assert rollup["events_total"] == 1
+        assert rollup["kinds"] == {"softmc_phase": 1}
+        assert rollup["windows"] == []
+
+
+def _memcon_trace(seed, pages=64, quanta=6):
+    rng = np.random.default_rng(seed)
+    duration_ms = quanta * 1024.0
+    writes = {}
+    for page in range(pages):
+        if page % 5 == 4:
+            continue  # keep some read-only pages
+        count = int(rng.integers(1, 8))
+        times = np.sort(rng.uniform(0.0, duration_ms - 1.0, size=count))
+        writes[page] = times.astype(np.float64)
+    return WriteTrace(duration_ms=duration_ms, writes=writes,
+                      total_pages=pages, name=f"analytics-{seed}")
+
+
+class TestOfflineOnlineEquivalence:
+    """ISSUE 3 property: offline aggregation of the JSONL file equals the
+    in-process rollups for the same run, events having round-tripped
+    through JSON."""
+
+    __test__ = True
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_memcon_run_round_trips(self, tmp_path_factory, seed):
+        trace = _memcon_trace(seed)
+        path = str(tmp_path_factory.mktemp("traces") / f"t{seed}.jsonl")
+        aggregator = obs.AggregatingSink(window_ms=1024.0,
+                                         total_pages=trace.total_pages)
+        jsonl = obs.JsonlTraceSink(path)
+        previous = obs.set_sink(TeeSink(jsonl, aggregator))
+        try:
+            controller = MemconController(
+                total_pages=trace.total_pages,
+                config=MemconConfig(quantum_ms=1024.0),
+                fails=lambda page: page % 7 == 0,
+            )
+            controller.run(trace)
+        finally:
+            obs.set_sink(previous)
+            jsonl.close()
+        offline = aggregate_trace(
+            obs.read_trace(path), window_ms=1024.0,
+            total_pages=trace.total_pages,
+        )
+        assert offline == aggregator.to_dict()
+
+    def test_system_sim_run_round_trips(self, tmp_path):
+        from repro.sim import simulate_workload
+
+        path = str(tmp_path / "sim.jsonl")
+        aggregator = obs.AggregatingSink(window_ms=0.05)
+        jsonl = obs.JsonlTraceSink(path)
+        previous = obs.set_sink(TeeSink(jsonl, aggregator))
+        try:
+            simulate_workload(["mcf"], window_ns=200_000.0, channels=2)
+        finally:
+            obs.set_sink(previous)
+            jsonl.close()
+        online = aggregator.to_dict()
+        offline = aggregate_trace(obs.read_trace(path), window_ms=0.05)
+        assert offline == online
+        # The run must have produced controller and energy telemetry.
+        assert online["kinds"]["mc_request"] > 0
+        assert online["energy"] is not None
+        assert len(online["energy"]["rollups"]) == 2  # one per channel
+        assert any(w["mc"] for w in online["windows"])
+
+
+class TestMemconRollupSemantics:
+    """End-to-end: rollups reconcile with the controller's own report."""
+
+    __test__ = True
+
+    def test_rollup_totals_match_report(self):
+        trace = _memcon_trace(seed=3)
+        aggregator = obs.AggregatingSink(window_ms=1024.0,
+                                         total_pages=trace.total_pages)
+        previous = obs.set_sink(aggregator)
+        try:
+            controller = MemconController(
+                total_pages=trace.total_pages,
+                config=MemconConfig(quantum_ms=1024.0),
+            )
+            report = controller.run(trace)
+        finally:
+            obs.set_sink(previous)
+        rollup = aggregator.to_dict()
+        tests = [w["tests"] for w in rollup["windows"]]
+        assert sum(t["started"] for t in tests) == report.tests_total
+        assert sum(t["aborted"] for t in tests) == report.tests_aborted
+        assert sum(t["failed"] for t in tests) == report.tests_failed
+        # Every test resolves, so nothing stays outstanding at the end.
+        assert aggregator.tests_outstanding == 0
+        # PRIL quanta: every started test was attributed somewhere, and
+        # predictions match the pril_quantum events' own counts.
+        pril_started = sum(q["started"] for q in rollup["pril"])
+        read_only = trace.total_pages - len(trace.writes)
+        assert pril_started == report.tests_total - read_only
+        for quantum in rollup["pril"]:
+            assert quantum["started"] == quantum["predicted"]
+            assert quantum["resolved"] + quantum["aborted"] == (
+                quantum["started"]
+            )

@@ -1,0 +1,110 @@
+"""LiveReporter: throttled status lines over the shared aggregator."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.obs.analytics import AggregatingSink
+from repro.obs.live import LiveReporter
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _rec(kind, **fields):
+    record = {"v": obs.SCHEMA_VERSION, "kind": kind}
+    record.update(fields)
+    return record
+
+
+def _reporter(interval_s=1.0):
+    clock = FakeClock()
+    stream = io.StringIO()
+    aggregator = AggregatingSink()
+    live = LiveReporter(aggregator, stream=stream,
+                        interval_s=interval_s, clock=clock)
+    return live, aggregator, stream, clock
+
+
+class TestLiveReporter:
+    __test__ = True
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            LiveReporter(AggregatingSink(), interval_s=-1.0)
+
+    def test_throttles_to_interval(self):
+        live, aggregator, stream, clock = _reporter(interval_s=1.0)
+        for _ in range(50):
+            record = _rec("test_started", t_ms=0.0, page=1)
+            aggregator.emit(record)
+            live.emit(record)
+        assert live.reports_written == 0  # clock never advanced
+        clock.advance(1.5)
+        record = _rec("test_passed", t_ms=64.0, page=1)
+        aggregator.emit(record)
+        live.emit(record)
+        assert live.reports_written == 1
+        assert stream.getvalue().count("[live]") == 1
+
+    def test_status_line_reflects_aggregator_state(self):
+        live, aggregator, stream, clock = _reporter()
+        for record in (
+            _rec("test_started", t_ms=0.0, page=7),
+            _rec("ref_transition", t_ms=10.0, page=3,
+                 **{"from": "hi_ref", "to": "lo_ref"}),
+        ):
+            aggregator.emit(record)
+            live.emit(record)
+        clock.advance(2.0)
+        record = _rec("ref_transition", t_ms=20.0, page=4,
+                      **{"from": "hi_ref", "to": "lo_ref"})
+        aggregator.emit(record)
+        live.emit(record)
+        line = stream.getvalue()
+        assert "3 events" in line
+        assert "lo-ref rows 2" in line
+        assert "tests outstanding 1" in line
+
+    def test_experiment_progress_and_eta(self):
+        live, aggregator, stream, clock = _reporter()
+        for record in (
+            _rec("run_started", experiments=["fig06", "fig09", "fig15"]),
+            _rec("experiment_finished", name="fig06", wall_s=2.0),
+        ):
+            aggregator.emit(record)
+            live.emit(record)
+        clock.advance(4.0)
+        record = _rec("experiment_finished", name="fig09", wall_s=2.0)
+        aggregator.emit(record)
+        live.emit(record)
+        line = stream.getvalue()
+        assert "experiments 2/3" in line
+        # 2 done in 4s elapsed -> 1 remaining at ~2s/each.
+        assert "eta 2s" in line
+
+    def test_close_writes_final_line_even_when_throttled(self):
+        live, aggregator, stream, clock = _reporter(interval_s=60.0)
+        record = _rec("test_started", t_ms=0.0, page=0)
+        aggregator.emit(record)
+        live.emit(record)
+        assert stream.getvalue() == ""
+        live.close()
+        assert stream.getvalue().count("[live]") == 1
+        assert "1 events" in stream.getvalue()
+
+    def test_defaults_to_stderr(self, capsys):
+        clock = FakeClock()
+        live = LiveReporter(AggregatingSink(), interval_s=0.0, clock=clock)
+        clock.advance(1.0)
+        live.emit(_rec("run_started", experiments=["fig06"]))
+        assert "[live]" in capsys.readouterr().err

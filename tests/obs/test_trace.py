@@ -135,3 +135,111 @@ class TestJsonlRoundTrip:
         assert list(read_trace(str(path), validate=False)) == [
             {"v": 1, "kind": "future_kind"}
         ]
+
+
+class TestNumericFieldValidation:
+    @pytest.mark.parametrize("field,kind,base", [
+        ("t_ms", "test_started", {"page": 0}),
+        ("t_ns", "mc_refresh", {"channel": 0}),
+        ("latency_ns", "mc_request",
+         {"t_ns": 0.0, "kind_served": "read", "bank": 0}),
+        ("wall_s", "run_finished", {}),
+    ])
+    def test_non_numeric_value_rejected(self, field, kind, base):
+        record = {"v": SCHEMA_VERSION, "kind": kind, field: "12.5"}
+        record.update(base)
+        with pytest.raises(TraceSchemaError) as err:
+            validate_record(record)
+        assert "must be numeric" in str(err.value)
+
+    def test_bool_is_not_numeric(self):
+        with pytest.raises(TraceSchemaError):
+            validate_record({"v": SCHEMA_VERSION, "kind": "test_started",
+                             "t_ms": True, "page": 0})
+
+    def test_int_and_float_accepted(self):
+        validate_record({"v": SCHEMA_VERSION, "kind": "test_started",
+                         "t_ms": 5, "page": 0})
+        validate_record({"v": SCHEMA_VERSION, "kind": "test_started",
+                         "t_ms": 5.0, "page": 0})
+
+
+class TestCrashSafety:
+    def test_default_flush_cadence(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        assert sink.flush_every == 1000
+        sink.close()
+
+    def test_negative_flush_every_rejected(self):
+        with pytest.raises(ValueError):
+            JsonlTraceSink(io.StringIO(), flush_every=-1)
+
+    def test_flushes_every_n_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(str(path), flush_every=10)
+        record = {"v": SCHEMA_VERSION, "kind": "test_started",
+                  "t_ms": 0.0, "page": 1}
+        for _ in range(25):
+            sink.emit(record)
+        # Without closing, everything up to the last flush boundary must
+        # already be on disk (the crash-safety guarantee).
+        on_disk = path.read_text().count("\n")
+        assert on_disk >= 20
+        sink.close()
+        assert path.read_text().count("\n") == 25
+
+    def test_flush_zero_disables_periodic_flush(self):
+        flushes = []
+
+        class CountingStream(io.StringIO):
+            def flush(self):
+                flushes.append(True)
+                return super().flush()
+
+        sink = JsonlTraceSink(CountingStream(), flush_every=0)
+        record = {"v": SCHEMA_VERSION, "kind": "test_started",
+                  "t_ms": 0.0, "page": 1}
+        for _ in range(5000):
+            sink.emit(record)
+        assert not flushes
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        path.write_text(
+            '{"v": 1, "kind": "test_started", "t_ms": 0.0, "page": 1}\n'
+            '{"v": 1, "kind": "test_pas'  # the kill signature
+        )
+        with pytest.raises(TraceSchemaError):
+            list(read_trace(str(path)))
+        records = list(read_trace(str(path), tolerate_truncation=True))
+        assert [r["kind"] for r in records] == ["test_started"]
+
+    def test_corruption_mid_file_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"v": 1, "kind": "test_started", "t_ms": 0.0, "page": 1}\n'
+            '{"v": 1, "kind": "test_pas\n'
+            '{"v": 1, "kind": "test_passed", "t_ms": 64.0, "page": 1}\n'
+        )
+        with pytest.raises(TraceSchemaError):
+            list(read_trace(str(path), tolerate_truncation=True))
+
+    def test_truncated_line_followed_by_blanks_tolerated(self, tmp_path):
+        path = tmp_path / "killed.jsonl"
+        path.write_text(
+            '{"v": 1, "kind": "run_started", "experiments": []}\n'
+            '{"v": 1, "kin\n'
+            '\n'
+        )
+        records = list(read_trace(str(path), tolerate_truncation=True))
+        assert len(records) == 1
+
+
+class TestListSinkKinds:
+    def test_record_without_kind_raises_schema_error(self):
+        sink = ListTraceSink()
+        sink.emit({"v": SCHEMA_VERSION, "kind": "run_finished", "wall_s": 1.0})
+        sink.emit({"v": SCHEMA_VERSION, "page": 3})
+        with pytest.raises(TraceSchemaError) as err:
+            sink.kinds()
+        assert "record 1" in str(err.value)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.mc.controller import ControllerStats
 from repro.sim.energy import (
     EnergyBreakdown,
@@ -79,6 +80,61 @@ class TestSavings:
     def test_negative_counts_raise(self):
         with pytest.raises(ValueError):
             refresh_energy_savings(-1, 0)
+
+
+class TestEnergyRollupEvents:
+    def test_rollup_emitted_with_pj_fields(self):
+        sink = obs.ListTraceSink()
+        previous = obs.set_sink(sink)
+        try:
+            params = EnergyParameters(
+                activate_nj=2.0, read_nj=1.0, write_nj=1.0,
+                refresh_nj_8gb=100.0, background_w=0.5,
+            )
+            stats = _stats(row_hits=3, row_misses=2, refreshes_issued=4)
+            breakdown = energy_of_run(stats, 1_000.0, params=params,
+                                      channel=1)
+        finally:
+            obs.set_sink(previous)
+        (record,) = sink.records
+        obs.validate_record(record)
+        assert record["kind"] == "energy_rollup"
+        assert record["window_ns"] == 1_000.0
+        assert record["channel"] == 1
+        # pJ fields are the nJ breakdown times 1e3.
+        assert record["refresh_pj"] == pytest.approx(
+            breakdown.refresh_nj * 1e3)
+        assert record["access_pj"] == pytest.approx(
+            (breakdown.activate_nj + breakdown.read_write_nj) * 1e3)
+        assert record["background_pj"] == pytest.approx(
+            breakdown.background_nj * 1e3)
+
+    def test_channel_omitted_when_unset(self):
+        sink = obs.ListTraceSink()
+        previous = obs.set_sink(sink)
+        try:
+            energy_of_run(_stats(), 1_000.0)
+        finally:
+            obs.set_sink(previous)
+        assert "channel" not in sink.records[0]
+
+    def test_no_sink_no_event(self):
+        previous = obs.set_sink(None)
+        try:
+            energy_of_run(_stats(), 1_000.0)  # must not raise
+        finally:
+            obs.set_sink(previous)
+
+    def test_system_run_emits_one_rollup_per_channel(self):
+        sink = obs.ListTraceSink()
+        previous = obs.set_sink(sink)
+        try:
+            simulate_workload(["mcf"], window_ns=100_000.0, channels=2)
+        finally:
+            obs.set_sink(previous)
+        rollups = [r for r in sink.records if r["kind"] == "energy_rollup"]
+        assert sorted(r["channel"] for r in rollups) == [0, 1]
+        assert all(r["refresh_pj"] > 0 for r in rollups)
 
 
 class TestEndToEnd:
