@@ -58,10 +58,17 @@ def obs_env():
 
 @pytest.fixture
 def record_bench():
-    """Merge one named entry into the BENCH_obs.json trajectory file."""
+    """Merge one named entry into a BENCH_*.json trajectory file.
 
-    def recorder(name, **fields):
-        path = os.path.abspath(BENCH_OBS_PATH)
+    Entries land in ``BENCH_obs.json`` unless ``path=`` points elsewhere
+    (the parallel-execution benchmarks keep their own
+    ``BENCH_parallel.json``). Every entry records the worker count it
+    was measured with (``jobs``, default 1) so sharded and serial
+    numbers are never conflated in the history.
+    """
+
+    def recorder(name, path=BENCH_OBS_PATH, **fields):
+        path = os.path.abspath(path)
         data = {}
         if os.path.exists(path):
             try:
@@ -70,6 +77,7 @@ def record_bench():
             except (OSError, json.JSONDecodeError):
                 data = {}
         entry = dict(fields)
+        entry.setdefault("jobs", 1)
         entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
         # Append, don't overwrite: the displaced entry joins the new
         # entry's history so the measured trajectory accumulates.

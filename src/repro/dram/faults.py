@@ -218,6 +218,35 @@ class FaultMap:
         with np.errstate(over="ignore"):
             return _mix64(self._seed_base ^ (rows.astype(_U64) * _GOLDEN))
 
+    def rng_coordinates(
+        self, row_start: int = 0, row_stop: Optional[int] = None
+    ) -> Dict[str, object]:
+        """JSON-safe RNG coordinates of a row range's sub-stream.
+
+        Each row's population is drawn from a counter-based stream keyed
+        only by ``(seed, row)``, so a range's coordinates pin down its
+        content independent of batch composition. Work units carry these
+        for provenance, and checkpoint fingerprints include them so a
+        journal from a different seed or layout is never silently reused.
+        """
+        stop = self.total_rows if row_stop is None else row_stop
+        if not 0 <= row_start <= stop <= self.total_rows:
+            raise ValueError(
+                f"bad row range [{row_start}, {stop}) for "
+                f"{self.total_rows} rows"
+            )
+        edges = np.asarray(
+            [row_start, max(row_start, stop - 1)], dtype=np.int64
+        )
+        base = self._row_base(edges)
+        return {
+            "seed": int(self.seed),
+            "seed_base": format(int(self._seed_base), "016x"),
+            "rows": [int(row_start), int(stop)],
+            "base_first": format(int(base[0]), "016x"),
+            "base_last": format(int(base[1]), "016x"),
+        }
+
     def _ensure_rows(self, rows: np.ndarray) -> None:
         missing = [int(r) for r in np.unique(rows) if int(r) not in self._populations]
         if missing:

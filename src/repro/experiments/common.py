@@ -27,6 +27,27 @@ class ExperimentResult:
         self.rows.append(fields)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; round-trips exactly (floats survive json)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            paper_claim=data["paper_claim"],
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=data.get("notes", ""),
+        )
+
+    # ------------------------------------------------------------------
     def columns(self) -> List[str]:
         seen: List[str] = []
         for row in self.rows:
@@ -69,3 +90,25 @@ def _fmt(value: Any) -> str:
 def percent(value: float, digits: int = 1) -> str:
     """Format a fraction as a percentage string."""
     return f"{100.0 * value:.{digits}f}%"
+
+
+def plain(value: Any) -> Any:
+    """Coerce numpy scalars (recursively) to JSON-safe Python values.
+
+    Work-unit payloads cross process boundaries and the checkpoint
+    journal as JSON; ``float(np.float64)`` is exact, so the coercion
+    never perturbs a result.
+    """
+    if isinstance(value, dict):
+        return {key: plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [plain(item) for item in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    if hasattr(value, "item"):  # remaining numpy scalars (np.int64, ...)
+        return value.item()
+    return value

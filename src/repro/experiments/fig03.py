@@ -20,13 +20,15 @@ cross-checked against the device path in the test suite.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Set, Tuple
+from functools import lru_cache
+from typing import Any, Dict, List, Set, Tuple
 
 import numpy as np
 
 from ..dram import DramGeometry
 from ..dram.faults import FaultMap, FaultModelConfig
 from ..dram.scramble import VendorMapping, make_vendor_mapping
+from ..parallel.units import WorkUnit
 from ..testinfra import pattern_battery
 from ..testinfra.patterns import DataPattern
 from .common import ExperimentResult
@@ -36,6 +38,7 @@ from .common import ExperimentResult
 TEST_INTERVAL_MS = 328.0
 
 
+@lru_cache(maxsize=4)
 def _setup(quick: bool, seed: int) -> Tuple[DramGeometry, VendorMapping, FaultMap]:
     rows = 96 if quick else 512
     geometry = DramGeometry(
@@ -81,24 +84,54 @@ def _pattern_failures(
     return fail_rows[visible], bits[visible]
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Run the pattern battery and collect per-pattern failing cells."""
-    n_patterns = 24 if quick else 100
+def _n_patterns(quick: bool) -> int:
+    return 24 if quick else 100
+
+
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """Chunks of the pattern battery (4 patterns quick, 10 full)."""
+    n_patterns = _n_patterns(quick)
+    chunk = 4 if quick else 10
+    out: List[WorkUnit] = []
+    for seq, start in enumerate(range(0, n_patterns, chunk)):
+        stop = min(start + chunk, n_patterns)
+        out.append(WorkUnit(
+            "fig03", f"pat{start:03d}", {"patterns": [start, stop]}, seq=seq,
+        ))
+    return out
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    """Evaluate one pattern-range chunk of the battery.
+
+    Returns per-pattern failure counts plus the raw ``(row, bit,
+    pattern_id)`` triples so the merge can rebuild the cross-pattern
+    cell-sensitivity sets exactly as the serial loop does.
+    """
+    n_patterns = _n_patterns(quick)
+    start, stop = unit.params["patterns"]
     geometry, mapping, fault_map = _setup(quick, seed)
     system_of_silicon = mapping.system_of_silicon()
+    battery = pattern_battery(n_random=n_patterns - 10, seed=seed)[:n_patterns]
 
-    cell_patterns: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
-    per_pattern_failures: List[Tuple[str, int]] = []
-    for pattern_id, pattern in enumerate(pattern_battery(
-        n_random=n_patterns - 10, seed=seed,
-    )[:n_patterns]):
+    per_pattern: List[List[Any]] = []
+    cells: List[List[int]] = []
+    for pattern_id in range(start, stop):
+        pattern = battery[pattern_id]
         rows, bits = _pattern_failures(
             geometry, mapping, fault_map, pattern, system_of_silicon
         )
         for row, bit in zip(rows, bits):
-            cell_patterns[(int(row), int(bit))].add(pattern_id)
-        per_pattern_failures.append((pattern.name, len(rows)))
+            cells.append([int(row), int(bit), pattern_id])
+        per_pattern.append([pattern.name, int(len(rows))])
+    return {"per_pattern": per_pattern, "cells": cells}
 
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
+    n_patterns = _n_patterns(quick)
+    cell_patterns: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
     result = ExperimentResult(
         experiment_id="fig03",
         title="Cells failing with different data content",
@@ -107,8 +140,11 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "patterns: failures are conditional on memory content"
         ),
     )
-    for name, count in per_pattern_failures:
-        result.add_row(pattern=name, failing_cells=count)
+    for payload in payloads:
+        for name, count in payload["per_pattern"]:
+            result.add_row(pattern=name, failing_cells=count)
+        for row, bit, pattern_id in payload["cells"]:
+            cell_patterns[(row, bit)].add(pattern_id)
 
     n_cells = len(cell_patterns)
     conditional = sum(
@@ -121,6 +157,15 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         "fail under only a strict subset of patterns (data-dependent)"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Run the pattern battery and collect per-pattern failing cells."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)
 
 
 def cell_pattern_matrix(quick: bool = True, seed: int = 1):

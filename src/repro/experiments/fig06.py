@@ -9,6 +9,8 @@ at 480 ms / 448 ms for 128 ms / 256 ms LO-REF intervals.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from ..core.costmodel import (
     CostModel,
     TestMode,
@@ -16,7 +18,8 @@ from ..core.costmodel import (
     test_cost_ns,
 )
 from ..dram.timing import DDR3_1600
-from .common import ExperimentResult
+from ..parallel.units import WorkUnit
+from .common import ExperimentResult, plain
 
 #: (LO-REF interval ms, test mode, the paper's MinWriteInterval in ms).
 PAPER_POINTS = (
@@ -27,8 +30,37 @@ PAPER_POINTS = (
 )
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Compute MinWriteInterval for the paper's four configurations."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per paper configuration point."""
+    return [
+        WorkUnit(
+            "fig06", f"lo{int(lo_ms)}-{mode.value}",
+            {"lo_ms": lo_ms, "mode": mode.value, "paper_ms": paper_ms},
+            seq=i,
+        )
+        for i, (lo_ms, mode, paper_ms) in enumerate(PAPER_POINTS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    lo_ms = unit.params["lo_ms"]
+    mode = TestMode(unit.params["mode"])
+    paper_ms = unit.params["paper_ms"]
+    model = CostModel(lo_ref_interval_ms=lo_ms)
+    measured = model.min_write_interval_ms(mode)
+    return {"row": plain({
+        "lo_ref_ms": lo_ms,
+        "test_mode": mode.value,
+        "test_cost_ns": test_cost_ns(mode),
+        "min_write_interval_ms": measured,
+        "paper_ms": paper_ms,
+        "match": "yes" if measured == paper_ms else "NO",
+    })}
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig06",
         title="Determining MinWriteInterval (accumulated cost crossover)",
@@ -38,23 +70,23 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "1068/1602 ns; refresh 39 ns; 1.56% storage for Copy&Compare"
         ),
     )
-    for lo_ms, mode, paper_ms in PAPER_POINTS:
-        model = CostModel(lo_ref_interval_ms=lo_ms)
-        measured = model.min_write_interval_ms(mode)
-        result.add_row(
-            lo_ref_ms=lo_ms,
-            test_mode=mode.value,
-            test_cost_ns=test_cost_ns(mode),
-            min_write_interval_ms=measured,
-            paper_ms=paper_ms,
-            match="yes" if measured == paper_ms else "NO",
-        )
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         f"row read {DDR3_1600.row_read_ns:.0f} ns, refresh "
         f"{DDR3_1600.row_refresh_ns:.0f} ns, Copy&Compare reserved-region "
         f"overhead {100 * copy_and_compare_storage_overhead():.2f}%"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Compute MinWriteInterval for the paper's four configurations."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)
 
 
 def cost_curve_series(horizon_ms: float = 2000.0):

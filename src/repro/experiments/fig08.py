@@ -8,10 +8,13 @@ pooled interval CCDF of the synthetic traces over the same tail region
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from ..analysis.pareto import fit_pareto, is_decreasing_hazard
+from ..parallel.units import WorkUnit
 from ..traces.generator import generate_trace
 from ..traces.workloads import REPRESENTATIVE_WORKLOADS, WORKLOADS
-from .common import ExperimentResult
+from .common import ExperimentResult, plain
 
 #: The paper's R^2 values for ACBrotherhood / Netflix / SystemMgt.
 PAPER_R2 = {
@@ -25,33 +28,55 @@ FIT_X_MIN_MS = 2.0
 FIT_X_MAX_FRACTION = 1.0 / 40.0
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Fit the Pareto tail for the three plotted workloads."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per plotted workload trace."""
+    return [
+        WorkUnit("fig08", name, {"workload": name}, seq=i)
+        for i, name in enumerate(REPRESENTATIVE_WORKLOADS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    name = unit.params["workload"]
+    duration = 60_000.0 if quick else None
+    trace = generate_trace(WORKLOADS[name], seed=seed, duration_ms=duration)
+    intervals = trace.all_intervals()
+    fit = fit_pareto(
+        intervals[intervals >= FIT_X_MIN_MS],
+        x_min=FIT_X_MIN_MS,
+        x_max=trace.duration_ms * FIT_X_MAX_FRACTION,
+    )
+    return {"row": plain({
+        "workload": name,
+        "alpha": fit.alpha,
+        "r_squared": fit.r_squared,
+        "paper_r_squared": PAPER_R2[name],
+        "dhr": str(is_decreasing_hazard(intervals[intervals >= 1.0])),
+        "n_intervals": fit.n_samples,
+    })}
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig08",
         title="Pareto distribution of write intervals",
         paper_claim="log-log linear CCDF fits with R^2 = 0.94/0.94/0.99",
     )
-    duration = 60_000.0 if quick else None
-    for name in REPRESENTATIVE_WORKLOADS:
-        trace = generate_trace(WORKLOADS[name], seed=seed,
-                               duration_ms=duration)
-        intervals = trace.all_intervals()
-        fit = fit_pareto(
-            intervals[intervals >= FIT_X_MIN_MS],
-            x_min=FIT_X_MIN_MS,
-            x_max=trace.duration_ms * FIT_X_MAX_FRACTION,
-        )
-        result.add_row(
-            workload=name,
-            alpha=fit.alpha,
-            r_squared=fit.r_squared,
-            paper_r_squared=PAPER_R2[name],
-            dhr=str(is_decreasing_hazard(intervals[intervals >= 1.0])),
-            n_intervals=fit.n_samples,
-        )
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         "alpha is the fitted tail index; dhr confirms the decreasing "
         "hazard rate property PRIL relies on"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Fit the Pareto tail for the three plotted workloads."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

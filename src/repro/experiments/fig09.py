@@ -7,16 +7,36 @@ on average across the twelve applications.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 import numpy as np
 
 from ..analysis.intervals import LONG_INTERVAL_MS, time_in_long_intervals
+from ..parallel.units import WorkUnit
 from ..traces.generator import generate_trace
 from ..traces.workloads import WORKLOADS
-from .common import ExperimentResult, percent
+from .common import ExperimentResult, percent, plain
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Fraction of write-interval time in >=1024 ms intervals, per app."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per application trace."""
+    return [
+        WorkUnit("fig09", name, {"workload": name}, seq=i)
+        for i, name in enumerate(WORKLOADS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    name = unit.params["workload"]
+    duration = 60_000.0 if quick else None
+    trace = generate_trace(WORKLOADS[name], seed=seed, duration_ms=duration)
+    frac = time_in_long_intervals(trace, LONG_INTERVAL_MS)
+    return plain({"workload": name, "fraction": frac})
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig09",
         title="Time spent in long write intervals (>= 1024 ms)",
@@ -25,14 +45,11 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "time on average"
         ),
     )
-    duration = 60_000.0 if quick else None
-    fractions = []
-    for name, profile in WORKLOADS.items():
-        trace = generate_trace(profile, seed=seed, duration_ms=duration)
-        frac = time_in_long_intervals(trace, LONG_INTERVAL_MS)
-        fractions.append(frac)
+    fractions = [payload["fraction"] for payload in payloads]
+    for payload in payloads:
+        frac = payload["fraction"]
         result.add_row(
-            workload=name,
+            workload=payload["workload"],
             time_in_long_intervals=percent(frac),
             time_in_short_intervals=percent(1.0 - frac),
         )
@@ -42,3 +59,12 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         time_in_short_intervals=percent(float(1.0 - np.mean(fractions))),
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Fraction of write-interval time in >=1024 ms intervals, per app."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

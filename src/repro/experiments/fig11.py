@@ -8,20 +8,46 @@ to 1 past 16 s.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 import numpy as np
 
 from ..analysis.intervals import LONG_INTERVAL_MS, ril_exceeds_probability
+from ..parallel.units import WorkUnit
 from ..traces.generator import generate_trace
 from ..traces.workloads import WORKLOADS
-from .common import ExperimentResult
+from .common import ExperimentResult, plain
 
 #: The CIL values reported in the summary table (full grid available via
 #: repro.analysis.intervals.CIL_GRID_MS).
 REPORT_CILS_MS = (64.0, 256.0, 512.0, 1024.0, 2048.0, 8192.0, 16384.0)
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Conditional long-interval probability per workload and CIL."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per application trace (full CIL sweep inside)."""
+    return [
+        WorkUnit("fig11", name, {"workload": name}, seq=i)
+        for i, name in enumerate(WORKLOADS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    name = unit.params["workload"]
+    duration = 60_000.0 if quick else None
+    trace = generate_trace(WORKLOADS[name], seed=seed, duration_ms=duration)
+    row: Dict[str, Any] = {"workload": name}
+    at_512 = None
+    for cil in REPORT_CILS_MS:
+        p = ril_exceeds_probability(trace, cil, LONG_INTERVAL_MS)
+        row[f"cil_{int(cil)}ms"] = p
+        if cil == 512.0:
+            at_512 = p
+    return plain({"row": row, "at_512": at_512})
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig11",
         title="P(RIL > 1024 ms) as a function of CIL",
@@ -30,20 +56,21 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "approaching 1 above 16384 ms"
         ),
     )
-    duration = 60_000.0 if quick else None
-    at_512 = []
-    for name, profile in WORKLOADS.items():
-        trace = generate_trace(profile, seed=seed, duration_ms=duration)
-        row = {"workload": name}
-        for cil in REPORT_CILS_MS:
-            p = ril_exceeds_probability(trace, cil, LONG_INTERVAL_MS)
-            row[f"cil_{int(cil)}ms"] = p
-            if cil == 512.0:
-                at_512.append(p)
-        result.add_row(**row)
+    at_512 = [payload["at_512"] for payload in payloads]
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         f"P(RIL > 1024 ms | CIL = 512 ms) spans "
         f"{min(at_512):.2f}-{max(at_512):.2f} across workloads "
         f"(mean {np.mean(at_512):.2f})"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Conditional long-interval probability per workload and CIL."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

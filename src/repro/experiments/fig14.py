@@ -9,12 +9,15 @@ longer than any of the three quanta.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 import numpy as np
 
 from ..core.memcon import MemconConfig, simulate_refresh_reduction
+from ..parallel.units import WorkUnit
 from ..traces.generator import generate_trace
 from ..traces.workloads import WORKLOADS
-from .common import ExperimentResult, percent
+from .common import ExperimentResult, percent, plain
 
 QUANTA_MS = (512.0, 1024.0, 2048.0)
 
@@ -23,8 +26,36 @@ QUANTA_MS = (512.0, 1024.0, 2048.0)
 FAILING_PAGE_FRACTION = 0.02
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Per-workload refresh reduction at the three quanta."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per application trace (all three quanta inside)."""
+    return [
+        WorkUnit("fig14", name, {"workload": name}, seq=i)
+        for i, name in enumerate(WORKLOADS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    name = unit.params["workload"]
+    duration = 60_000.0 if quick else None
+    trace = generate_trace(WORKLOADS[name], seed=seed, duration_ms=duration)
+    row: Dict[str, Any] = {"workload": name}
+    reductions: List[float] = []  # aligned with QUANTA_MS
+    for quantum in QUANTA_MS:
+        report = simulate_refresh_reduction(
+            trace,
+            MemconConfig(quantum_ms=quantum),
+            failing_page_fraction=FAILING_PAGE_FRACTION,
+            seed=seed,
+        )
+        row[f"cil_{int(quantum)}ms"] = percent(report.refresh_reduction)
+        reductions.append(report.refresh_reduction)
+    row["upper_bound"] = percent(0.75)
+    return plain({"row": row, "reductions": reductions})
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig14",
         title="Reduction in refresh count with MEMCON",
@@ -33,22 +64,11 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "to CIL in 512-2048 ms"
         ),
     )
-    duration = 60_000.0 if quick else None
-    reductions = {q: [] for q in QUANTA_MS}
-    for name, profile in WORKLOADS.items():
-        trace = generate_trace(profile, seed=seed, duration_ms=duration)
-        row = {"workload": name}
-        for quantum in QUANTA_MS:
-            report = simulate_refresh_reduction(
-                trace,
-                MemconConfig(quantum_ms=quantum),
-                failing_page_fraction=FAILING_PAGE_FRACTION,
-                seed=seed,
-            )
-            row[f"cil_{int(quantum)}ms"] = percent(report.refresh_reduction)
-            reductions[quantum].append(report.refresh_reduction)
-        row["upper_bound"] = percent(0.75)
-        result.add_row(**row)
+    reductions: Dict[float, List[float]] = {q: [] for q in QUANTA_MS}
+    for payload in payloads:
+        for quantum, value in zip(QUANTA_MS, payload["reductions"]):
+            reductions[quantum].append(value)
+        result.add_row(**payload["row"])
     means = {q: float(np.mean(v)) for q, v in reductions.items()}
     all_vals = [v for vals in reductions.values() for v in vals]
     result.notes = (
@@ -57,3 +77,12 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         + ", ".join(f"{int(q)}ms={percent(m)}" for q, m in means.items())
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Per-workload refresh reduction at the three quanta."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

@@ -9,12 +9,13 @@ Reported improvement over the 16 ms baseline: 10%/17%/40% to 12%/22%/50%
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
+from ..parallel.units import WorkUnit
 from ..sim.metrics import geometric_mean, speedup
 from ..sim.system import simulate_workload
 from ..sim.workloads import multicore_mixes, singlecore_workloads
-from .common import ExperimentResult, percent
+from .common import ExperimentResult, percent, plain
 
 DENSITIES_GBIT = (8, 16, 32)
 REDUCTIONS = (0.60, 0.75)
@@ -50,8 +51,40 @@ def _mean_speedup(
     return geometric_mean(speedups)
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Mean speedup per core count, density, and reduction amount."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per (cores, density) simulator configuration."""
+    out: List[WorkUnit] = []
+    for cores in (1, 4):
+        for density in DENSITIES_GBIT:
+            out.append(WorkUnit(
+                "fig15", f"c{cores}-d{density}",
+                {"cores": cores, "density": density}, seq=len(out),
+            ))
+    return out
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    cores = unit.params["cores"]
+    density = unit.params["density"]
+    n_workloads = 6 if quick else 30
+    window_ns = 100_000.0 if quick else 500_000.0
+    workloads = (
+        singlecore_workloads(n_workloads, seed=seed) if cores == 1
+        else multicore_mixes(n_workloads, seed=seed)
+    )
+    row: Dict[str, object] = {"cores": cores, "density": f"{density}Gb"}
+    for reduction in REDUCTIONS:
+        mean = _mean_speedup(workloads, density, reduction, window_ns, seed)
+        row[f"speedup_{int(reduction * 100)}pct"] = mean
+        row[f"paper_{int(reduction * 100)}pct"] = (
+            1.0 + PAPER_IMPROVEMENT[(cores, reduction, density)]
+        )
+    return {"row": plain(row)}
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     n_workloads = 6 if quick else 30
     window_ns = 100_000.0 if quick else 500_000.0
     result = ExperimentResult(
@@ -62,24 +95,20 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "+17/29/65% for 8/16/32 Gb (60% to 75% refresh reduction)"
         ),
     )
-    for cores, workloads in (
-        (1, singlecore_workloads(n_workloads, seed=seed)),
-        (4, multicore_mixes(n_workloads, seed=seed)),
-    ):
-        for density in DENSITIES_GBIT:
-            row: Dict[str, object] = {"cores": cores, "density": f"{density}Gb"}
-            for reduction in REDUCTIONS:
-                mean = _mean_speedup(
-                    workloads, density, reduction, window_ns, seed,
-                )
-                row[f"speedup_{int(reduction * 100)}pct"] = mean
-                row[f"paper_{int(reduction * 100)}pct"] = (
-                    1.0 + PAPER_IMPROVEMENT[(cores, reduction, density)]
-                )
-            result.add_row(**row)
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         f"{n_workloads} workloads per configuration, {window_ns / 1e3:.0f} us "
         f"windows, {CONCURRENT_TESTS} concurrent tests injected; speedups "
         "are geometric means of weighted speedup over the 16 ms baseline"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Mean speedup per core count, density, and reduction amount."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

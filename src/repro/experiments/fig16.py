@@ -16,12 +16,13 @@ The paper's ordering: 32 ms < RAIDR < MEMCON < 64 ms, with MEMCON within
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
+from ..parallel.units import WorkUnit
 from ..sim.metrics import geometric_mean, speedup
 from ..sim.system import simulate_workload
 from ..sim.workloads import multicore_mixes, singlecore_workloads
-from .common import ExperimentResult
+from .common import ExperimentResult, plain
 
 DENSITIES_GBIT = (8, 16, 32)
 
@@ -39,10 +40,54 @@ MECHANISMS = (
 )
 
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Mean speedup of each mechanism over the 16 ms baseline."""
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per (cores, density) simulator configuration."""
+    out: List[WorkUnit] = []
+    for cores in (1, 4):
+        for density in DENSITIES_GBIT:
+            out.append(WorkUnit(
+                "fig16", f"c{cores}-d{density}",
+                {"cores": cores, "density": density}, seq=len(out),
+            ))
+    return out
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    cores = unit.params["cores"]
+    density = unit.params["density"]
     n_workloads = 6 if quick else 30
     window_ns = 100_000.0 if quick else 500_000.0
+    workloads = (
+        singlecore_workloads(n_workloads, seed=seed) if cores == 1
+        else multicore_mixes(n_workloads, seed=seed)
+    )
+    baselines = [
+        simulate_workload(
+            names, density_gbit=density, window_ns=window_ns, seed=seed + i,
+        )
+        for i, names in enumerate(workloads)
+    ]
+    row: Dict[str, object] = {"cores": cores, "density": f"{density}Gb"}
+    for label, reduction, tests in MECHANISMS:
+        speedups = [
+            speedup(
+                simulate_workload(
+                    names, density_gbit=density,
+                    refresh_reduction=reduction,
+                    concurrent_tests=tests,
+                    window_ns=window_ns, seed=seed + i,
+                ),
+                baselines[i],
+            )
+            for i, names in enumerate(workloads)
+        ]
+        row[label] = geometric_mean(speedups)
+    return {"row": plain(row)}
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig16",
         title="Comparison with other refresh mechanisms",
@@ -51,37 +96,20 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "baseline by 4-17% and lands within 3-5% of ideal 64 ms"
         ),
     )
-    for cores, workloads in (
-        (1, singlecore_workloads(n_workloads, seed=seed)),
-        (4, multicore_mixes(n_workloads, seed=seed)),
-    ):
-        for density in DENSITIES_GBIT:
-            baselines = [
-                simulate_workload(
-                    names, density_gbit=density, window_ns=window_ns,
-                    seed=seed + i,
-                )
-                for i, names in enumerate(workloads)
-            ]
-            row: Dict[str, object] = {"cores": cores, "density": f"{density}Gb"}
-            for label, reduction, tests in MECHANISMS:
-                speedups = [
-                    speedup(
-                        simulate_workload(
-                            names, density_gbit=density,
-                            refresh_reduction=reduction,
-                            concurrent_tests=tests,
-                            window_ns=window_ns, seed=seed + i,
-                        ),
-                        baselines[i],
-                    )
-                    for i, names in enumerate(workloads)
-                ]
-                row[label] = geometric_mean(speedups)
-            result.add_row(**row)
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         f"RAIDR modelled with {int(RAIDR_HI_FRACTION * 100)}% of rows "
         f"pinned at HI-REF; MEMCON at {int(MEMCON_REDUCTION * 100)}% "
         "reduction plus testing traffic; all speedups vs the 16 ms baseline"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Mean speedup of each mechanism over the 16 ms baseline."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments fig14 fig17  # a subset
     python -m repro.experiments all --full   # paper-scale settings
     python -m repro.experiments fig03 --trace t.jsonl --metrics m.json
+    python -m repro.experiments all --jobs 4 # sharded across processes
+    python -m repro.experiments all --jobs 4 --resume   # pick up a kill
 
 Result tables go to stdout; progress goes through ``logging`` (stderr),
 tuned with ``--verbose``/``--quiet``. ``--trace`` records the run's
@@ -20,10 +22,19 @@ Whenever events flow (``--trace`` or ``--live``), the stream is teed
 through an in-process :class:`repro.obs.AggregatingSink`, whose windowed
 rollups (HI/LO-REF population, test outcomes, PRIL hit rate, controller
 latency percentiles, energy) are stored in the manifest under
-``"timeseries"`` — no re-read of the trace file. ``--live`` adds a
-periodic stderr status line (events/s, LO-REF rows, outstanding tests,
-ETA) driven by the same aggregator; ``--window-ms`` sets the rollup
-window. ``python -m repro.obs.compare OLD NEW`` diffs two manifests.
+``"timeseries"``. ``--live`` adds a periodic stderr status line driven
+by the same aggregator; ``--window-ms`` sets the rollup window.
+``python -m repro.obs.compare OLD NEW`` diffs two manifests.
+
+``--jobs N`` executes each experiment's deterministic work units
+(:mod:`repro.parallel`) across N processes. Completed units are
+journalled to a checkpoint file as they finish (``--checkpoint``
+overrides the location), and ``--resume`` skips any journalled unit
+whose fingerprint still matches — a killed sweep restarts without
+re-executing finished work. Result tables are byte-identical to the
+serial run for every N; worker trace shards and metrics snapshots are
+merged back into the single ``--trace``/``--metrics`` files after the
+run, and the manifest records the worker topology under ``"workers"``.
 """
 
 from __future__ import annotations
@@ -34,9 +45,21 @@ import logging
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..parallel import (
+    CheckpointJournal,
+    ParallelExecutor,
+    WorkerObsConfig,
+    decompose,
+    discover_metric_shards,
+    discover_trace_shards,
+    merge_metric_snapshots,
+    merge_payloads,
+    merge_run_traces,
+    trace_shard_path,
+)
 from . import (
     fig03, fig04, fig06, fig07, fig08, fig09, fig11, fig12,
     fig14, fig15, fig16, fig17, fig18, fig19, table3,
@@ -95,6 +118,13 @@ def _configure_logging(verbose: bool, quiet: bool) -> None:
     root.setLevel(level)
 
 
+def _ensure_parent(path: str) -> None:
+    """Create a file's parent directories so outputs can nest anywhere."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
 def _default_manifest_path(args: argparse.Namespace) -> Optional[str]:
     """Where the manifest lands when ``--manifest`` is not given."""
     if args.manifest:
@@ -103,6 +133,23 @@ def _default_manifest_path(args: argparse.Namespace) -> Optional[str]:
         if anchor:
             return os.path.splitext(anchor)[0] + ".manifest.json"
     return None
+
+
+def _default_checkpoint_path(args: argparse.Namespace) -> str:
+    """Where the unit journal lands when ``--checkpoint`` is not given."""
+    if args.checkpoint:
+        return args.checkpoint
+    for anchor in (args.out, args.metrics, args.trace, args.manifest):
+        if anchor:
+            return os.path.splitext(anchor)[0] + ".checkpoint.jsonl"
+    return "results.checkpoint.jsonl"
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,6 +186,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics or --trace, whichever is given first)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="execute each experiment's work units across N processes "
+        "(default 1: serial); result tables are byte-identical for any N",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip work units already in the checkpoint journal (their "
+        "fingerprints must match the current seed/scale)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="checkpoint journal location (default: next to the first "
+        "output file, else results.checkpoint.jsonl)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="S",
+        help="per-unit wall-clock budget in seconds; overrunning units "
+        "are terminated and retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="crash/timeout retries per unit before degrading it to "
+        "serial execution in the parent (default %(default)s)",
+    )
+    parser.add_argument(
         "--live", action="store_true",
         help="periodic stderr status line (events/s, LO-REF rows, "
         "outstanding tests, ETA) driven by the in-process aggregator",
@@ -159,6 +231,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     names = (
         list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
@@ -169,7 +243,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}"
         )
 
+    parallel = args.jobs > 1
+    journaling = parallel or args.resume or bool(args.checkpoint)
+
     if args.out:
+        _ensure_parent(args.out)
         # Truncate once so each invocation produces a fresh report, then
         # append per experiment so partial output survives a crash.
         with open(args.out, "w"):
@@ -178,7 +256,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     manifest = obs.RunManifest.start(
         names, seed=args.seed, quick=not args.full,
         config={"out": args.out, "trace": args.trace, "metrics": args.metrics,
-                "live": args.live, "window_ms": args.window_ms},
+                "live": args.live, "window_ms": args.window_ms,
+                "jobs": args.jobs, "resume": args.resume},
     )
     manifest.trace_path = args.trace
 
@@ -186,8 +265,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metrics:
         previous_registry = obs.set_registry(obs.MetricsRegistry(enabled=True))
     # Sink stack: JSONL file, in-process aggregator, live reporter — all
-    # fed from the same emit() calls through one tee.
-    jsonl_sink = obs.JsonlTraceSink(args.trace) if args.trace else None
+    # fed from the same emit() calls through one tee. A sharded run's
+    # parent writes a lifecycle-only shard; worker shards are spliced
+    # into it after the run to produce the final --trace file.
+    trace_target = (
+        trace_shard_path(args.trace, "parent")
+        if (parallel and args.trace) else args.trace
+    )
+    jsonl_sink = obs.JsonlTraceSink(trace_target) if trace_target else None
     aggregator = (
         obs.AggregatingSink(window_ms=args.window_ms)
         if (args.trace or args.live) else None
@@ -202,6 +287,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = None
     previous_sink = obs.set_sink(sink) if sink is not None else None
 
+    executor: Optional[ParallelExecutor] = None
+    journal: Optional[CheckpointJournal] = None
+    done: Dict[str, Dict[str, Any]] = {}
+    if journaling:
+        checkpoint_path = _default_checkpoint_path(args)
+        _ensure_parent(checkpoint_path)
+        journal = CheckpointJournal(checkpoint_path)
+        if args.resume:
+            done = journal.load()
+            logger.info(
+                "resume: %d journalled units in %s", len(done), checkpoint_path
+            )
+        executor = ParallelExecutor(
+            args.jobs,
+            quick=not args.full,
+            seed=args.seed,
+            obs_cfg=WorkerObsConfig(
+                trace_base=args.trace if parallel else None,
+                metrics_base=args.metrics if parallel else None,
+            ),
+            unit_timeout_s=args.unit_timeout,
+            max_retries=args.retries,
+        )
+
+    #: (experiment, seq) -> (shard label, attempt) for the trace merge.
+    accepted: Dict[Tuple[str, int], Tuple[str, int]] = {}
+    totals: Dict[str, int] = {}
     run_started = time.perf_counter()
     try:
         obs.emit("run_started", experiments=names, seed=args.seed,
@@ -209,13 +321,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         with obs.collect_spans("run") as collector:
             for name in names:
                 started = time.perf_counter()
-                logger.info("running %s (quick=%s, seed=%d)",
-                            name, not args.full, args.seed)
+                logger.info("running %s (quick=%s, seed=%d, jobs=%d)",
+                            name, not args.full, args.seed, args.jobs)
                 obs.emit("experiment_started", experiment=name)
                 with obs.span(name):
-                    result = run_experiments(
-                        [name], quick=not args.full, seed=args.seed
-                    )[0]
+                    if executor is None:
+                        result = run_experiments(
+                            [name], quick=not args.full, seed=args.seed
+                        )[0]
+                    else:
+                        units = decompose(
+                            name, quick=not args.full, seed=args.seed
+                        )
+                        payloads, stats = executor.run_units(
+                            units, journal=journal, done=done,
+                        )
+                        result = merge_payloads(
+                            name, payloads,
+                            quick=not args.full, seed=args.seed,
+                        )
+                        for unit in units:
+                            if unit.key in stats.accepted_shards:
+                                accepted[(unit.experiment, unit.seq)] = (
+                                    stats.accepted_shards[unit.key],
+                                    stats.accepted_attempts[unit.key],
+                                )
+                        for key, value in stats.as_dict().items():
+                            totals[key] = totals.get(key, 0) + value
+                        if stats.skipped:
+                            logger.info(
+                                "%s: %d/%d units from checkpoint",
+                                name, stats.skipped, len(units),
+                            )
                 wall_s = time.perf_counter() - started
                 obs.emit("experiment_finished", experiment=name,
                          wall_s=wall_s)
@@ -223,7 +360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     # Fold the buffered stream between experiments so the
                     # record buffer never spans more than one experiment.
                     aggregator.drain()
-                manifest.add_timing(name, wall_s)
+                manifest.add_timing(name, wall_s, jobs=args.jobs)
                 logger.info("%s finished in %.1fs", name, wall_s)
                 text = result.to_text()
                 print(text)
@@ -235,7 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.emit("run_finished", wall_s=manifest.wall_s)
         manifest.spans = collector.to_dict()
         manifest.metrics = obs.get_registry().snapshot()
-        if aggregator is not None:
+        if aggregator is not None and not parallel:
             manifest.timeseries = aggregator.to_dict()
     finally:
         if sink is not None:
@@ -243,8 +380,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             sink.close()
         if previous_registry is not None:
             obs.set_registry(previous_registry)
+        if journal is not None:
+            journal.close()
+        if executor is not None:
+            # Workers flush their trace shards and metrics snapshots
+            # through atexit finalisers as the pool drains.
+            executor.shutdown()
+
+    if executor is not None:
+        manifest.workers = executor.topology()
+        manifest.workers["stats"] = totals
+
+    if parallel and args.trace:
+        parent_shard = trace_shard_path(args.trace, "parent")
+        worker_shards = discover_trace_shards(args.trace)
+        records = merge_run_traces(
+            parent_shard, worker_shards, args.trace, accepted
+        )
+        logger.info(
+            "merged %d worker trace shards into %s (%d records)",
+            len(worker_shards), args.trace, records,
+        )
+        for shard in worker_shards:
+            _remove_quietly(shard)
+        _remove_quietly(parent_shard)
+        # The aggregator only saw the parent's lifecycle shard during a
+        # sharded run; recompute the rollups from the merged stream,
+        # which equals the serial stream record for record.
+        manifest.timeseries = obs.aggregate_trace(
+            obs.read_trace(args.trace, validate=False),
+            window_ms=args.window_ms,
+        )
+
+    if parallel and args.metrics:
+        metric_shards = discover_metric_shards(args.metrics)
+        manifest.metrics = merge_metric_snapshots(
+            manifest.metrics, metric_shards
+        )
+        for shard in metric_shards:
+            _remove_quietly(shard)
 
     if args.metrics:
+        _ensure_parent(args.metrics)
         with open(args.metrics, "w", encoding="utf-8") as handle:
             json.dump(manifest.metrics, handle, indent=2)
             handle.write("\n")

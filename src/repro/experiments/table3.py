@@ -8,12 +8,13 @@ traffic better), against an ideal system whose testing is free.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
+from ..parallel.units import WorkUnit
 from ..sim.metrics import geometric_mean, speedup
 from ..sim.system import simulate_workload
 from ..sim.workloads import multicore_mixes, singlecore_workloads
-from .common import ExperimentResult, percent
+from .common import ExperimentResult, percent, plain
 
 CONCURRENT_TESTS = (256, 512, 1024)
 MEMCON_REDUCTION = 0.66
@@ -23,11 +24,60 @@ PAPER_LOSS = {
     (4, 256): 0.0005, (4, 512): 0.0009, (4, 1024): 0.0048,
 }
 
+#: The table's three system configurations, in row order.
+CONFIGS = ((1, 1), (4, 1), (4, 2))
 
-def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
-    """Slowdown vs a zero-testing-overhead ideal, per test concurrency."""
+
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """One unit per (cores, channels) system configuration."""
+    return [
+        WorkUnit(
+            "table3", f"c{cores}-ch{channels}",
+            {"cores": cores, "channels": channels}, seq=i,
+        )
+        for i, (cores, channels) in enumerate(CONFIGS)
+    ]
+
+
+def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any]:
+    cores = unit.params["cores"]
+    channels = unit.params["channels"]
     n_workloads = 6 if quick else 30
     window_ns = 100_000.0 if quick else 500_000.0
+    workloads = (
+        singlecore_workloads(n_workloads, seed=seed) if cores == 1
+        else multicore_mixes(n_workloads, seed=seed)
+    )
+    ideal = [
+        simulate_workload(
+            names, refresh_reduction=MEMCON_REDUCTION,
+            concurrent_tests=0, window_ns=window_ns,
+            channels=channels, seed=seed + i,
+        )
+        for i, names in enumerate(workloads)
+    ]
+    row: Dict[str, object] = {"cores": cores, "channels": channels}
+    for tests in CONCURRENT_TESTS:
+        ratios = [
+            speedup(
+                simulate_workload(
+                    names, refresh_reduction=MEMCON_REDUCTION,
+                    concurrent_tests=tests, window_ns=window_ns,
+                    channels=channels, seed=seed + i,
+                ),
+                ideal[i],
+            )
+            for i, names in enumerate(workloads)
+        ]
+        loss = 1.0 - geometric_mean(ratios)
+        row[f"tests_{tests}"] = percent(loss, 2)
+        row[f"paper_{tests}"] = percent(PAPER_LOSS[(cores, tests)], 2)
+    return {"row": plain(row)}
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]], quick: bool = True, seed: int = 1
+) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table3",
         title="Performance loss due to testing accesses",
@@ -36,36 +86,8 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
             "for 256/512/1024 concurrent tests"
         ),
     )
-    for cores, channels, workloads in (
-        (1, 1, singlecore_workloads(n_workloads, seed=seed)),
-        (4, 1, multicore_mixes(n_workloads, seed=seed)),
-        (4, 2, multicore_mixes(n_workloads, seed=seed)),
-    ):
-        ideal = [
-            simulate_workload(
-                names, refresh_reduction=MEMCON_REDUCTION,
-                concurrent_tests=0, window_ns=window_ns,
-                channels=channels, seed=seed + i,
-            )
-            for i, names in enumerate(workloads)
-        ]
-        row: Dict[str, object] = {"cores": cores, "channels": channels}
-        for tests in CONCURRENT_TESTS:
-            ratios = [
-                speedup(
-                    simulate_workload(
-                        names, refresh_reduction=MEMCON_REDUCTION,
-                        concurrent_tests=tests, window_ns=window_ns,
-                        channels=channels, seed=seed + i,
-                    ),
-                    ideal[i],
-                )
-                for i, names in enumerate(workloads)
-            ]
-            loss = 1.0 - geometric_mean(ratios)
-            row[f"tests_{tests}"] = percent(loss, 2)
-            row[f"paper_{tests}"] = percent(PAPER_LOSS[(cores, tests)], 2)
-        result.add_row(**row)
+    for payload in payloads:
+        result.add_row(**payload["row"])
     result.notes = (
         "loss measured against MEMCON with free testing (the paper's "
         "ideal). The 4-core single-channel row shows the contention of "
@@ -73,3 +95,12 @@ def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
         "(last row) reproduces the paper's near-zero multicore overhead"
     )
     return result
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """Slowdown vs a zero-testing-overhead ideal, per test concurrency."""
+    payloads = [
+        run_unit(unit, quick=quick, seed=seed)
+        for unit in units(quick=quick, seed=seed)
+    ]
+    return merge_units(payloads, quick=quick, seed=seed)

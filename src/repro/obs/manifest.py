@@ -11,6 +11,7 @@ orphan with no provenance.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -61,6 +62,9 @@ class RunManifest:
     #: Windowed rollups from the in-process aggregator (analytics.py).
     timeseries: Optional[Dict[str, Any]] = None
     trace_path: Optional[str] = None
+    #: Worker topology of a sharded run (parallel/executor.py): jobs,
+    #: start method, shard labels, per-shard unit counts, executor stats.
+    workers: Optional[Dict[str, Any]] = None
     wall_s: float = 0.0
 
     @classmethod
@@ -105,9 +109,13 @@ class RunManifest:
             "metrics": self.metrics,
             "timeseries": self.timeseries,
             "trace_path": self.trace_path,
+            "workers": self.workers,
         }
 
     def write(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
             handle.write("\n")

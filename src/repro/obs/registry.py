@@ -206,6 +206,45 @@ class MetricsRegistry:
             for instrument in table.values():
                 instrument._reset()
 
+    # ------------------------------------------------------------------
+    def merge(self, other) -> None:
+        """Fold another registry (or a :meth:`snapshot` dict) into this one.
+
+        Merge semantics follow each instrument's meaning across workers:
+        counters and histograms are additive (counts, totals and sums
+        add; bucket bounds must match), gauges are point-in-time values
+        with no cross-worker order, so the merge keeps the maximum —
+        the conventional high-water-mark reading. Values are written
+        directly, bypassing the ``enabled`` flag: merging is bookkeeping,
+        not hot-path instrumentation.
+        """
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        if not isinstance(snapshot, dict):
+            raise TypeError(f"cannot merge {type(other).__name__} into registry")
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).value += value
+        for name, value in (snapshot.get("gauges") or {}).items():
+            gauge = self.gauge(name)
+            gauge.value = max(gauge.value, value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(float(b) for b in data.get("bounds", ()))
+            histogram = self.histogram(name, bounds or None)
+            if bounds and bounds != histogram.bounds:
+                raise ValueError(
+                    f"histogram {name!r}: shard bounds {bounds} do not match "
+                    f"{histogram.bounds}"
+                )
+            counts = data.get("counts", [])
+            if len(counts) != len(histogram.counts):
+                raise ValueError(
+                    f"histogram {name!r}: shard has {len(counts)} buckets, "
+                    f"expected {len(histogram.counts)}"
+                )
+            for index, count in enumerate(counts):
+                histogram.counts[index] += count
+            histogram.total += data.get("total", 0)
+            histogram.sum += data.get("sum", 0.0)
+
 
 #: The process-local default registry. Disabled by default so plain
 #: library use pays only the per-call-site flag check.

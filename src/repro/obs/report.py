@@ -194,8 +194,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.obs.report",
         description="Summarise a repro.obs JSONL trace and/or run manifest.",
     )
-    parser.add_argument("trace", nargs="?", default=None,
-                        help="JSONL trace file written with --trace")
+    parser.add_argument("trace", nargs="*", default=[],
+                        help="JSONL trace file written with --trace; give "
+                        "several shard files to time-sort-merge them")
     parser.add_argument("--manifest", default=None,
                         help="run manifest JSON written next to the output")
     parser.add_argument("--no-validate", action="store_true",
@@ -209,15 +210,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tolerate-truncation", action="store_true",
                         help="skip a partial final trace line (killed run)")
     args = parser.parse_args(argv)
-    if args.trace is None and args.manifest is None:
+    if not args.trace and args.manifest is None:
         parser.error("give a trace file, --manifest, or both")
     sections: List[str] = []
-    if args.trace is not None:
-        records = list(read_trace(
-            args.trace,
-            validate=not args.no_validate,
-            tolerate_truncation=args.tolerate_truncation,
-        ))
+    if args.trace:
+        if len(args.trace) == 1:
+            records = list(read_trace(
+                args.trace[0],
+                validate=not args.no_validate,
+                tolerate_truncation=args.tolerate_truncation,
+            ))
+        else:
+            records = list(read_trace(
+                merge=args.trace, validate=not args.no_validate
+            ))
         sections.append(render_trace_summary(records))
     manifest = load_manifest(args.manifest) if args.manifest else None
     if manifest is not None:
@@ -225,7 +231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.timeseries:
         timeseries = (manifest or {}).get("timeseries")
         if timeseries is None:
-            if args.trace is None:
+            if not args.trace:
                 parser.error(
                     "--timeseries needs a trace file or a manifest that "
                     "stored rollups"

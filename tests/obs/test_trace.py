@@ -243,3 +243,45 @@ class TestListSinkKinds:
         with pytest.raises(TraceSchemaError) as err:
             sink.kinds()
         assert "record 1" in str(err.value)
+
+
+class TestSinkLifecycle:
+    def _record(self):
+        return {"v": SCHEMA_VERSION, "kind": "run_finished", "wall_s": 0.0}
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        sink.emit(self._record())
+        sink.close()
+        sink.close()  # must not raise
+        assert sink.closed
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit(self._record())
+
+    def test_atexit_close_registers_and_unregisters(self, tmp_path):
+        import atexit
+
+        sink = JsonlTraceSink(str(tmp_path / "t.jsonl"), atexit_close=True)
+        assert sink._atexit_registered
+        sink.close()
+        assert not sink._atexit_registered
+        # An interpreter-exit flush after a manual close stays a no-op.
+        atexit.unregister(sink.close)  # belt and braces for the test env
+        sink.close()
+
+    def test_parent_directories_created_for_path_targets(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with JsonlTraceSink(str(path)) as sink:
+            sink.emit(self._record())
+        assert [r["kind"] for r in read_trace(str(path))] == ["run_finished"]
+
+    def test_unflushed_tail_written_on_close(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlTraceSink(path, flush_every=0)
+        sink.emit(self._record())
+        sink.close()
+        assert len(list(read_trace(path))) == 1

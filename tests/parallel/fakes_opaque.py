@@ -1,0 +1,14 @@
+"""Hook-less experiment module: exercises the opaque-unit fallback."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+
+def run(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="opaque", title="opaque", paper_claim="none"
+    )
+    result.add_row(seed=seed, quick=bool(quick))
+    result.notes = "rendered by run()"
+    return result

@@ -1,0 +1,188 @@
+"""Supervision loop: inline mode, crashes, retries, timeouts, skip-done."""
+
+import os
+
+import pytest
+
+from repro.parallel.checkpoint import CheckpointJournal
+from repro.parallel.executor import (
+    ParallelExecutor,
+    WorkerObsConfig,
+    metrics_shard_path,
+    trace_shard_path,
+)
+from repro.parallel.units import WorkUnit, register_experiment, unit_fingerprint
+
+register_experiment("fake", "tests.parallel.fakes")
+
+
+def _fake_units(n=4, **extra_params):
+    return [
+        WorkUnit(
+            "fake", f"u{i}", {"value": i * 10 + 1, **extra_params},
+            seq=i, module="tests.parallel.fakes",
+        )
+        for i in range(n)
+    ]
+
+
+def _expected_payloads(units):
+    return [
+        {"value": u.params["value"], "squared": u.params["value"] ** 2}
+        for u in units
+    ]
+
+
+class TestInline:
+    def test_jobs_1_runs_in_parent(self):
+        units = _fake_units()
+        with ParallelExecutor(1) as ex:
+            payloads, stats = ex.run_units(units)
+        assert payloads == _expected_payloads(units)
+        assert stats.executed == 4
+        assert set(stats.accepted_shards.values()) == {"parent"}
+        assert ex._pool is None  # never built one
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(1, unit_timeout_s=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(1, max_retries=-1)
+
+
+class TestPooled:
+    def test_payloads_arrive_in_seq_order(self):
+        units = _fake_units(8)
+        with ParallelExecutor(2, chunk_size=1) as ex:
+            payloads, stats = ex.run_units(units)
+        assert payloads == _expected_payloads(units)
+        assert stats.executed == 8
+        assert stats.degraded == 0
+        topo = ex.topology()
+        assert topo["jobs"] == 2
+        assert sum(w["units"] for w in topo["workers"]) == 8
+
+    def test_raising_unit_retries_then_degrades_serially(self):
+        # The unit raises in any process but this one; after max_retries
+        # worker attempts the parent runs it inline, where it succeeds.
+        units = _fake_units(2, raise_away=True, home_pid=os.getpid())
+        with ParallelExecutor(2, max_retries=1, chunk_size=1) as ex:
+            payloads, stats = ex.run_units(units)
+        assert payloads == _expected_payloads(units)
+        assert stats.retried == 2   # one retry per unit
+        assert stats.degraded == 2  # then the serial fallback
+        assert set(stats.accepted_shards.values()) == {"parent"}
+
+    def test_worker_crash_rebuilds_pool_and_degrades(self):
+        units = _fake_units(2, crash_away=True, home_pid=os.getpid())
+        with ParallelExecutor(2, max_retries=0, chunk_size=1) as ex:
+            payloads, stats = ex.run_units(units)
+        assert payloads == _expected_payloads(units)
+        assert stats.degraded == 2
+        assert stats.pool_rebuilds >= 1
+
+    def test_unit_timeout_terminates_and_degrades(self):
+        units = _fake_units(1, sleep_away=30.0, home_pid=os.getpid())
+        with ParallelExecutor(
+            2, max_retries=0, chunk_size=1, unit_timeout_s=0.5
+        ) as ex:
+            payloads, stats = ex.run_units(units)
+        assert payloads == _expected_payloads(units)
+        assert stats.timeouts == 1
+        assert stats.degraded == 1
+
+    def test_deterministic_failure_surfaces_in_parent(self):
+        # home_pid=0 matches nothing: the unit fails everywhere, so the
+        # degrade path re-raises the real exception in the parent.
+        units = _fake_units(1, raise_away=True, home_pid=0)
+        with ParallelExecutor(2, max_retries=0, chunk_size=1) as ex:
+            with pytest.raises(RuntimeError, match="synthetic failure"):
+                ex.run_units(units)
+
+
+class TestSkipAndJournal:
+    def test_done_entries_skip_matching_fingerprints(self):
+        units = _fake_units()
+        done = {
+            units[0].key: {
+                "fp": unit_fingerprint(units[0], True, 1),
+                "payload": {"value": -1, "squared": 1},
+            },
+            # Stale fingerprint: must be re-executed, not trusted.
+            units[1].key: {"fp": "stale", "payload": {"value": -2}},
+        }
+        with ParallelExecutor(1) as ex:
+            payloads, stats = ex.run_units(units, done=done)
+        assert stats.skipped == 1
+        assert stats.executed == 3
+        assert payloads[0] == {"value": -1, "squared": 1}  # journalled value
+        assert payloads[1] == _expected_payloads(units)[1]
+
+    def test_accepted_units_are_journalled_immediately(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        units = _fake_units()
+        with ParallelExecutor(1) as ex:
+            ex.run_units(units, journal=journal)
+        journal.close()
+        entries = CheckpointJournal(str(tmp_path / "j.jsonl")).load()
+        assert set(entries) == {u.key for u in units}
+        for unit, payload in zip(units, _expected_payloads(units)):
+            assert entries[unit.key]["payload"] == payload
+            assert entries[unit.key]["fp"] == unit_fingerprint(unit, True, 1)
+
+    def test_on_unit_progress_callback(self):
+        units = _fake_units(2)
+        seen = []
+        done = {
+            units[0].key: {
+                "fp": unit_fingerprint(units[0], True, 1), "payload": {},
+            }
+        }
+        with ParallelExecutor(1) as ex:
+            ex.run_units(
+                units, done=done,
+                on_unit=lambda u, skipped: seen.append((u.unit_id, skipped)),
+            )
+        assert sorted(seen) == [("u0", True), ("u1", False)]
+
+
+class TestShardPaths:
+    def test_trace_shard_path_keeps_extension(self):
+        assert trace_shard_path("t.jsonl", "worker-g1-9") == "t.worker-g1-9.jsonl"
+        assert trace_shard_path("t", "parent") == "t.parent.jsonl"
+
+    def test_metrics_shard_path(self):
+        assert metrics_shard_path("m.json", "worker-g1-9") == "m.worker-g1-9.json"
+
+
+class TestWorkerObs:
+    def test_workers_write_trace_and_metric_shards(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.json")
+        units = _fake_units(4)
+        with ParallelExecutor(
+            2, chunk_size=1,
+            obs_cfg=WorkerObsConfig(trace_base=trace, metrics_base=metrics),
+        ) as ex:
+            payloads, _ = ex.run_units(units)
+        ex.shutdown()
+        assert payloads == _expected_payloads(units)
+        from repro.parallel.merge import (
+            discover_metric_shards,
+            discover_trace_shards,
+        )
+
+        shards = discover_trace_shards(trace)
+        assert shards
+        from repro.obs import read_trace
+
+        markers = [
+            r["kind"]
+            for shard in shards
+            for r in read_trace(shard, validate=False)
+        ]
+        assert markers.count("unit_started") == 4
+        assert markers.count("unit_finished") == 4
+        assert discover_metric_shards(metrics)
