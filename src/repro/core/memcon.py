@@ -151,15 +151,127 @@ def simulate_refresh_reduction(
 
     Read-only pages are tested once at time zero when enabled.
 
+    The accounting is evaluated in one vectorised pass over the flattened
+    write stream (all pages at once); the retired per-page loop survives
+    as :func:`_simulate_refresh_reduction_loop`, the equivalence oracle.
+    Results are bit-identical: the failing-page draws consume the same
+    RNG stream (one double per written page, in dict order) and both time
+    accumulators sum their contributions in the same order (``np.cumsum``
+    is sequential left-to-right, like the loop's ``+=``).
+
     With a trace sink active the model also replays its verdicts as the
     standard event stream (``pril_quantum``, ``test_*``,
     ``ref_transition``), emitted in global time order so windowed
-    aggregation over the stream is meaningful. Without a sink the fast
-    path is untouched.
+    aggregation over the stream is meaningful; that path runs through the
+    loop implementation, which owns per-test event emission.
     """
     config = config or MemconConfig()
     if not 0.0 <= failing_page_fraction <= 1.0:
         raise ValueError("failing_page_fraction must be a probability")
+    if obs.trace_active():
+        return _simulate_refresh_reduction_loop(
+            trace, config, failing_page_fraction, seed
+        )
+    rng = np.random.default_rng(seed)
+    quantum = config.quantum_ms
+    window = trace.duration_ms
+    test_ms = config.test_duration_ms
+    cost_ns = test_cost_ns(config.test_mode)
+
+    lo_time_ms = 0.0
+    testing_time_ms = 0.0
+    tests_total = 0
+    tests_failed = 0
+    tests_correct = 0
+    tests_mispredicted = 0
+    tests_aborted = 0
+
+    # Flatten every page's (sorted) write times into one stream, keeping
+    # dict order so the per-page failing draws consume the RNG exactly as
+    # the loop did: one double per written page, skipping empty pages.
+    kept_arrays = [times for times in trace.writes.values() if len(times)]
+    n_written = len(kept_arrays)
+    if n_written:
+        page_fails = rng.random(n_written) < failing_page_fraction
+        counts = np.array([len(a) for a in kept_arrays], dtype=np.int64)
+        all_times = np.concatenate(kept_arrays)
+        n = len(all_times)
+        ends = np.cumsum(counts)
+        starts = ends - counts
+        first_of_page = np.zeros(n, dtype=bool)
+        first_of_page[starts] = True
+        # A write qualifies iff it is alone in its quantum (neither
+        # neighbour within the same page shares it). `quanta` stays
+        # float64: floor(t / q) is exact below 2**53, so comparisons and
+        # the boundary product below match the loop's int64 arithmetic
+        # bit for bit — and the candidate set is narrowed before any
+        # further full-width work (bursty traces are mostly non-single).
+        quanta = np.floor(all_times / quantum)
+        same_prev = np.zeros(n, dtype=bool)
+        same_prev[1:] = (quanta[1:] == quanta[:-1]) & ~first_of_page[1:]
+        same_next = np.zeros(n, dtype=bool)
+        same_next[:-1] = same_prev[1:]
+        single = np.flatnonzero(~(same_prev | same_next))
+        # The page must stay unwritten through the following quantum (the
+        # prediction boundary), which must land inside the window.
+        is_last = np.zeros(n, dtype=bool)
+        is_last[ends - 1] = True
+        next_write = np.where(
+            is_last[single], window, all_times[np.minimum(single + 1, n - 1)]
+        )
+        boundary = (quanta[single] + 2) * quantum
+        qualify = (boundary < window) & (next_write >= boundary)
+        idle = next_write[qualify]
+        start = boundary[qualify]
+        test_end = start + test_ms
+        page_of = np.searchsorted(starts, single[qualify], side="right") - 1
+        fails = page_fails[page_of]
+
+        tests_total = int(qualify.sum())
+        tests_aborted = int(np.count_nonzero(idle < test_end))
+        tests_failed = int(np.count_nonzero(fails))
+        tests_correct = int(np.count_nonzero(idle - start > config.long_interval_ms))
+        tests_mispredicted = tests_total - tests_correct
+        if tests_total:
+            testing_contrib = np.minimum(
+                test_ms, np.maximum(0.0, idle - start)
+            )
+            testing_time_ms = float(np.cumsum(testing_contrib)[-1])
+            lo_mask = ~fails & (idle > test_end)
+            if lo_mask.any():
+                lo_contrib = (
+                    np.minimum(idle[lo_mask], window) - test_end[lo_mask]
+                )
+                lo_time_ms = float(np.cumsum(lo_contrib)[-1])
+
+    # Read-only pages: one test at start-up, then LO-REF for the window.
+    n_read_only = trace.total_pages - n_written
+    if config.test_read_only_pages and n_read_only > 0:
+        n_ro_failing = int(round(n_read_only * failing_page_fraction))
+        n_ro_passing = n_read_only - n_ro_failing
+        tests_total += n_read_only
+        tests_failed += n_ro_failing
+        tests_correct += n_read_only
+        testing_time_ms += n_read_only * test_ms
+        lo_time_ms += n_ro_passing * max(0.0, window - test_ms)
+
+    return _memcon_report(
+        trace, config, cost_ns, lo_time_ms, testing_time_ms, tests_total,
+        tests_failed, tests_correct, tests_mispredicted, tests_aborted,
+    )
+
+
+def _simulate_refresh_reduction_loop(
+    trace: WriteTrace,
+    config: MemconConfig,
+    failing_page_fraction: float = 0.0,
+    seed: int = 0,
+) -> MemconReport:
+    """The retired per-page accounting loop (equivalence oracle).
+
+    Bit-identical to the vectorised path; also the implementation behind
+    traced runs, where it interleaves verdict events into the stream.
+    """
     rng = np.random.default_rng(seed)
     quantum = config.quantum_ms
     window = trace.duration_ms
@@ -286,6 +398,26 @@ def simulate_refresh_reduction(
             else:
                 obs.emit(kind, t_ms=t_ms, **fields)
 
+    return _memcon_report(
+        trace, config, cost_ns, lo_time_ms, testing_time_ms, tests_total,
+        tests_failed, tests_correct, tests_mispredicted, tests_aborted,
+    )
+
+
+def _memcon_report(
+    trace: WriteTrace,
+    config: MemconConfig,
+    cost_ns: float,
+    lo_time_ms: float,
+    testing_time_ms: float,
+    tests_total: int,
+    tests_failed: int,
+    tests_correct: int,
+    tests_mispredicted: int,
+    tests_aborted: int,
+) -> MemconReport:
+    """Fold accumulated times and counts into the :class:`MemconReport`."""
+    window = trace.duration_ms
     hi_time_ms = trace.total_pages * window - lo_time_ms - testing_time_ms
     refresh_count = (
         hi_time_ms / config.hi_ref_interval_ms
@@ -460,18 +592,29 @@ class MemconController:
         cfg = self.config
         rng = np.random.default_rng(seed)
         if failing_page_fraction:
+            # Compose with any content-backed predicate instead of
+            # replacing it: a page fails when its content trips the fault
+            # model *or* the pseudo-random draw marks it failing.
             failing = {
                 page for page in range(self.total_pages)
                 if rng.random() < failing_page_fraction
             }
-            self._fails = lambda page: page in failing
+            content_fails = self._fails
+            self._fails = (
+                lambda page: page in failing or content_fails(page)
+            )
         # Read-only pages: tested once at start-up. With a batch predicate
         # the whole module is classified in one vectorised pass.
         if cfg.test_read_only_pages:
             written = {p for p, t in trace.writes.items() if len(t)}
             read_only = [p for p in range(self.total_pages) if p not in written]
-            if self._fails_batch is not None and not failing_page_fraction:
+            if self._fails_batch is not None:
                 outcomes = np.asarray(self._fails_batch(read_only), dtype=bool)
+                if failing_page_fraction:
+                    outcomes |= np.fromiter(
+                        (p in failing for p in read_only),
+                        bool, len(read_only),
+                    )
             else:
                 outcomes = np.fromiter(
                     (self._fails(page) for page in read_only),

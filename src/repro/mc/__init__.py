@@ -9,9 +9,11 @@ from .controller import (
 )
 from .request import Request, RequestKind
 from .rowrefresh import RowRefreshScheduler, RowRefreshSettings
+from .schedule import ArrivalSchedule
 from .scheduler import FrFcfsScheduler, SchedulerConfig
 
 __all__ = [
+    "ArrivalSchedule",
     "BankState",
     "ControllerStats",
     "FrFcfsScheduler",

@@ -16,7 +16,7 @@ the test window (Table 3's overhead study).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from .. import obs
 from ..dram.timing import DDR3_1600, TimingParameters
 from .bank import BankState, RankState, issue_refresh, service_request
 from .request import Request, RequestKind
+from .schedule import ArrivalSchedule
 from .scheduler import FrFcfsScheduler, SchedulerConfig
 
 
@@ -142,6 +143,7 @@ class MemoryController:
         self._tests_served = 0
         self._read_latency_ns = 0.0
         registry = obs.get_registry()
+        self._registry = registry
         self._c_refreshes = registry.counter("mc.refreshes_issued")
         self._c_test_injected = registry.counter("mc.test_requests_injected")
         self._c_served = {
@@ -153,15 +155,48 @@ class MemoryController:
             "mc.read_latency_ns",
             buckets=(25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0),
         )
+        # Per-request-path instruments accumulate locally and are flushed
+        # in one batch (flush_metrics, called from stats()); the running
+        # pending-latency list keeps observation order so the histogram
+        # sum is the same float as per-request observes.
+        self._pend_refreshes = 0
+        self._pend_test_injected = 0
+        self._pend_served = {
+            RequestKind.READ: 0,
+            RequestKind.WRITE: 0,
+            RequestKind.TEST: 0,
+        }
+        self._pend_latencies: List[float] = []
         # Row-granularity refresh replaces all-bank REF when supplied.
         self.row_refresh = row_refresh
         self._rng = np.random.default_rng(seed)
-        self._next_refresh_ns = (
-            float("inf") if row_refresh is not None
-            else self.refresh.effective_trefi_ns
+        # Refresh and test injection follow fixed periodic schedules; the
+        # next-k arrival times are precomputed (ArrivalSchedule) instead of
+        # re-derived by per-tick compare-and-bump.
+        self._refresh_schedule = (
+            None if row_refresh is not None
+            else ArrivalSchedule(self.refresh.effective_trefi_ns,
+                                 self.refresh.effective_trefi_ns)
         )
         interval = self.test_traffic.request_interval_ns
-        self._next_test_ns = interval if interval is not None else None
+        self._test_schedule = (
+            None if interval is None else ArrivalSchedule(interval, interval)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def _next_refresh_ns(self) -> float:
+        """Next auto-refresh deadline (+inf under row-granularity refresh)."""
+        if self._refresh_schedule is None:
+            return float("inf")
+        return self._refresh_schedule.next_ns
+
+    @property
+    def _next_test_ns(self) -> Optional[float]:
+        """Next test-traffic injection time (None when disabled)."""
+        if self._test_schedule is None:
+            return None
+        return self._test_schedule.next_ns
 
     # ------------------------------------------------------------------
     def enqueue(self, request: Request) -> bool:
@@ -173,50 +208,81 @@ class MemoryController:
         return self.scheduler.pending
 
     def next_event_ns(self, now_ns: float) -> float:
-        """Earliest time the controller has something to do after ``now``."""
-        floor = max(now_ns, self.rank.refresh_until_ns)
-        candidates = [max(self._next_refresh_ns, now_ns)]
+        """Earliest time the controller has something to do after ``now``.
+
+        Equivalent to ``min`` over the ``max(candidate, now)``-clamped
+        refresh / row-refresh / test-injection deadlines and the earliest
+        queue-issue time, written branch-by-branch because it runs once
+        per simulated instant.
+        """
+        best = float("inf")
+        schedule = self._refresh_schedule
+        if schedule is not None:
+            best = schedule.next_ns
+            if best < now_ns:
+                best = now_ns
         if self.row_refresh is not None:
-            candidates.append(max(self.row_refresh.next_due_ns, now_ns))
-        if self._next_test_ns is not None:
-            candidates.append(max(self._next_test_ns, now_ns))
-        earliest = self.scheduler.earliest_issue_ns(self.banks, floor)
-        if earliest is not None:
-            candidates.append(earliest)
-        return min(candidates)
+            candidate = self.row_refresh.next_due_ns
+            if candidate < now_ns:
+                candidate = now_ns
+            if candidate < best:
+                best = candidate
+        schedule = self._test_schedule
+        if schedule is not None:
+            candidate = schedule.next_ns
+            if candidate < now_ns:
+                candidate = now_ns
+            if candidate < best:
+                best = candidate
+        if self.scheduler.pending:
+            floor = self.rank.refresh_until_ns
+            if floor < now_ns:
+                floor = now_ns
+            earliest = self.scheduler.earliest_issue_ns(self.banks, floor)
+            if earliest is not None and earliest < best:
+                best = earliest
+        return best
 
     # ------------------------------------------------------------------
-    def tick(self, now_ns: float) -> float:
-        """Process work available at ``now_ns``; return next event time.
+    def _step(self, now_ns: float) -> Optional[Request]:
+        """Process the work available at ``now_ns``; return any serviced
+        request (``None`` when the instant was idle).
 
         One call issues at most one refresh, one injected test request and
-        one scheduled request; callers loop on the returned event time.
+        one scheduled request — the historical per-tick unit of work.
         """
         # 1. Refresh has priority: it is a hard JEDEC deadline. It acts as
         # a barrier — no request command may issue while it is pending.
-        if now_ns >= self._next_refresh_ns:
-            issue_refresh(self.rank, self.banks,
-                          max(self._next_refresh_ns, now_ns), self.timing)
-            self._c_refreshes.inc()
+        schedule = self._refresh_schedule
+        if schedule is not None and now_ns >= schedule.next_ns:
+            due = schedule.next_ns
+            issue_refresh(self.rank, self.banks, max(due, now_ns), self.timing)
+            if self._registry.enabled:
+                self._pend_refreshes += 1
             if obs.trace_active():
-                obs.emit("mc_refresh", t_ns=max(self._next_refresh_ns, now_ns),
+                obs.emit("mc_refresh", t_ns=max(due, now_ns),
                          channel=self.channel)
-            self._next_refresh_ns += self.refresh.effective_trefi_ns
+            schedule.advance()
         if self.row_refresh is not None:
             self.row_refresh.tick(now_ns, self.banks)
-        # 2. Inject background test traffic on its schedule.
-        if self._next_test_ns is not None and now_ns >= self._next_test_ns:
+        # 2. Inject background test traffic on its schedule. The bank/row
+        # draws stay scalar and per-injection so the RNG stream matches
+        # the historical one draw-pair-per-request order.
+        schedule = self._test_schedule
+        if schedule is not None and now_ns >= schedule.next_ns:
+            due = schedule.next_ns
             bank = int(self._rng.integers(len(self.banks)))
             row = int(self._rng.integers(self.rows_per_bank))
             self.scheduler.enqueue(Request(
                 kind=RequestKind.TEST, core=-1, bank=bank, row=row,
-                arrival_ns=self._next_test_ns, channel=self.channel,
+                arrival_ns=due, channel=self.channel,
             ))
-            self._c_test_injected.inc()
-            self._next_test_ns += self.test_traffic.request_interval_ns
+            if self._registry.enabled:
+                self._pend_test_injected += 1
+            schedule.advance()
         # 3. Issue one request if one is eligible right now (banks free,
         # no refresh in progress).
-        if now_ns >= self.rank.refresh_until_ns:
+        if self.scheduler.pending and now_ns >= self.rank.refresh_until_ns:
             request = self.scheduler.next_request(self.banks, now_ns)
             if request is not None:
                 done = service_request(
@@ -225,14 +291,64 @@ class MemoryController:
                 )
                 request.completion_ns = done
                 self._account(request)
+                return request
+        return None
+
+    def tick(self, now_ns: float) -> float:
+        """Process work available at ``now_ns``; return next event time.
+
+        One call issues at most one refresh, one injected test request and
+        one scheduled request; callers loop on the returned event time.
+        """
+        self._step(now_ns)
         return self.next_event_ns(now_ns + self.timing.tCK)
 
+    def drain(self, now_ns: float, bound_ns: float) -> "Tuple[float, float]":
+        """Run every internal step in ``[now_ns, bound_ns)`` in one visit.
+
+        The controller advances its own clock through the same sequence of
+        instants the tick loop would have visited — ``t' = max(t + tCK,
+        next_event)`` — so service timing is unchanged; only the Python
+        round-trips per instant are gone. ``bound_ns`` is the earliest
+        time the outside world may act (a core arrival, another channel's
+        event, the window end); the drain additionally stops at the
+        completion time of any read it services, because delivering that
+        read can unstall a core.
+
+        Returns ``(next_event, last_instant)``: the controller's next
+        event time and the last instant actually processed. The caller
+        must floor its next visit of *anything* at ``last_instant + tCK``
+        — the poll loop applied the tCK floor per processed instant, and
+        that composition is observable (a floor can push a core's poll
+        past its arrival time), so it is part of the preserved semantics.
+        """
+        tck = self.timing.tCK
+        t = now_ns
+        while True:
+            served = self._step(t)
+            if (
+                served is not None
+                and served.kind is RequestKind.READ
+                and served.completion_ns < bound_ns
+            ):
+                bound_ns = served.completion_ns
+            nxt = self.next_event_ns(t + tck)
+            t_next = t + tck
+            if nxt > t_next:
+                t_next = nxt
+            if t_next >= bound_ns:
+                return nxt, t
+            t = t_next
+
     def _account(self, request: Request) -> None:
-        self._c_served[request.kind].inc()
+        enabled = self._registry.enabled
+        if enabled:
+            self._pend_served[request.kind] += 1
         if request.kind is RequestKind.READ:
             self._reads_served += 1
             self._read_latency_ns += request.latency_ns
-            self._h_read_latency.observe(request.latency_ns)
+            if enabled:
+                self._pend_latencies.append(request.latency_ns)
             if self.on_read_complete is not None:
                 self.on_read_complete(request)
         elif request.kind is RequestKind.WRITE:
@@ -250,7 +366,32 @@ class MemoryController:
             )
 
     # ------------------------------------------------------------------
+    def flush_metrics(self) -> None:
+        """Push batched per-request instruments into the metrics registry.
+
+        Counter deltas and the ordered latency backlog accumulate on the
+        controller during the run and reach the registry here — called
+        from :meth:`stats` and at run end — producing the same registry
+        state (merge/snapshot-compatible) as per-request updates.
+        """
+        if self._pend_refreshes:
+            self._c_refreshes.inc(self._pend_refreshes)
+            self._pend_refreshes = 0
+        if self._pend_test_injected:
+            self._c_test_injected.inc(self._pend_test_injected)
+            self._pend_test_injected = 0
+        for kind, count in self._pend_served.items():
+            if count:
+                self._c_served[kind].inc(count)
+                self._pend_served[kind] = 0
+        if self._pend_latencies:
+            self._h_read_latency.observe_many(self._pend_latencies)
+            self._pend_latencies = []
+        self.scheduler.flush_metrics()
+
+    # ------------------------------------------------------------------
     def stats(self) -> ControllerStats:
+        self.flush_metrics()
         refreshes = self.rank.refreshes_issued
         busy_ns = self.rank.refresh_busy_ns
         if self.row_refresh is not None:

@@ -109,6 +109,25 @@ class Histogram:
         self.total += 1
         self.sum += value
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations in order.
+
+        Equivalent to calling :meth:`observe` per value — in particular
+        ``sum`` accumulates left-to-right, so a batched flush produces the
+        same float as the per-observation path it replaces.
+        """
+        if not self._registry.enabled or not values:
+            return
+        counts = self.counts
+        bounds = self.bounds
+        bisect_left = bisect.bisect_left
+        total = self.sum
+        for value in values:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+        self.total += len(values)
+        self.sum = total
+
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0

@@ -7,6 +7,7 @@ from .energy import (
     energy_of_run,
     refresh_energy_savings,
 )
+from .events import EventHeap
 from .metrics import geometric_mean, harmonic_mean, speedup
 from .system import (
     CoreResult,
@@ -22,6 +23,7 @@ __all__ = [
     "CoreResult",
     "EnergyBreakdown",
     "EnergyParameters",
+    "EventHeap",
     "energy_of_run",
     "refresh_energy_savings",
     "SystemConfig",

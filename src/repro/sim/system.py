@@ -26,6 +26,7 @@ from ..mc.rowrefresh import RowRefreshScheduler, RowRefreshSettings
 from ..traces.spec import BenchmarkProfile, get_benchmark
 from .core import CoreConfig, TraceCore
 from .energy import energy_of_run
+from .events import EventHeap
 
 
 @dataclass
@@ -176,11 +177,206 @@ class SystemSimulator:
 
     # ------------------------------------------------------------------
     @obs.timed("sim.run")
-    def run(self, window_ns: float) -> SystemResult:
-        """Simulate ``window_ns`` of wall-clock time and report results."""
+    def run(self, window_ns: float, engine: str = "event") -> SystemResult:
+        """Simulate ``window_ns`` of wall-clock time and report results.
+
+        ``engine`` selects the inner loop: ``"event"`` (default) is the
+        heap-scheduled discrete-event engine; ``"poll"`` is the retired
+        cycle-polling loop, kept verbatim as the equivalence oracle.
+        """
         if window_ns <= 0:
             raise ValueError("window_ns must be positive")
-        self._c_iterations = obs.get_registry().counter("sim.loop_iterations")
+        if engine == "poll":
+            return self._reference_run(window_ns)
+        if engine != "event":
+            raise ValueError(f"unknown engine {engine!r}")
+
+        c_iterations = obs.get_registry().counter("sim.loop_iterations")
+        controllers = self.controllers
+        cores = self.cores
+        n_channels = len(controllers)
+        n_cores = len(cores)
+        tck = controllers[0].timing.tCK
+        completed = self._completed_reads
+
+        # Actors post their next-ready times on the heap and are visited
+        # only when due; time jumps straight to the earliest posted time
+        # (floored at now + tCK, the poll loop's advance rule). Each
+        # iteration touches only the due actors — the per-iteration cost
+        # is proportional to the work at that instant, not to the number
+        # of cores and channels.
+        heap = EventHeap()
+        core_actors = [("core", i) for i in range(n_cores)]
+        mc_actors = [("mc", ch) for ch in range(n_channels)]
+        hints: List[Optional[float]] = []
+        for i, core in enumerate(cores):
+            hint = core.next_arrival_hint(0.0)
+            hints.append(hint)
+            if hint is not None:
+                heap.push(core_actors[i], hint)
+        for channel in range(n_channels):
+            heap.push(mc_actors[channel], 0.0)  # every controller due at t=0
+        # Per-core backpressure queues (the fairness fix: a refused
+        # request stalls only its own core, not every later-index core).
+        holdback: List[List[Request]] = [[] for _ in cores]
+        blocked = 0  # cores with a pending refused request
+
+        now = 0.0
+        iterations = 0
+        max_iterations = int(window_ns * 50)  # safety net, never binding
+        while now < window_ns:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError("simulator failed to make progress")
+            due_cores: List[int] = []
+            drain_chs: List[int] = []
+            for actor in heap.prune_due(now):
+                if actor[0] == "core":
+                    due_cores.append(actor[1])
+                else:
+                    drain_chs.append(actor[1])
+            touched = [False] * n_channels
+            fed = False
+
+            # --- Cores, in id order: retry refused requests, then poll.
+            if blocked:
+                ids = set(due_cores)
+                for i in range(n_cores):
+                    if holdback[i]:
+                        ids.add(i)
+                core_ids: Sequence[int] = sorted(ids)
+            elif len(due_cores) > 1:
+                due_cores.sort()
+                core_ids = due_cores
+            else:
+                core_ids = due_cores
+            for i in core_ids:
+                queue = holdback[i]
+                if queue:
+                    while queue:
+                        request = queue[0]
+                        if controllers[request.channel].enqueue(request):
+                            touched[request.channel] = True
+                            fed = True
+                            queue.pop(0)
+                        else:
+                            break
+                    if queue:
+                        continue  # still backpressured; no new requests
+                    blocked -= 1
+                hint = hints[i]
+                if hint is None:
+                    continue
+                if hint > now:
+                    # Not actually due (blocked-path visit or a stale
+                    # wake-up); make sure the arrival stays posted.
+                    actor = core_actors[i]
+                    if heap.current(actor) is None:
+                        heap.push(actor, hint)
+                    continue
+                core = cores[i]
+                while True:
+                    request = core.next_request(now)
+                    if request is None:
+                        break
+                    if controllers[request.channel].enqueue(request):
+                        touched[request.channel] = True
+                        fed = True
+                    else:
+                        queue.append(request)
+                        blocked += 1
+                        break
+                hint = core.next_arrival_hint(now)
+                hints[i] = hint
+                if hint is not None:
+                    heap.push(core_actors[i], hint)
+
+            # --- Controllers, in channel order: drain every due or
+            # freshly-fed channel. `floor_base` tracks the last instant
+            # any drain processed: the poll loop applied its tCK floor
+            # per instant, and that composition is observable, so the
+            # outer advance must respect it.
+            floor_base = now
+            if fed:
+                fed_set = set(drain_chs)
+                for ch in range(n_channels):
+                    if touched[ch]:
+                        fed_set.add(ch)
+                drain_chs = sorted(fed_set)
+            elif len(drain_chs) > 1:
+                drain_chs.sort()
+            multi = len(drain_chs) > 1
+            for channel in drain_chs:
+                if blocked or multi:
+                    # Single-step: refused requests retry at tick cadence,
+                    # and channels acting at the same instant constrain
+                    # each other to the merged instant grid. (Any read
+                    # completion lies beyond now + tCK, so completions
+                    # never tighten this bound.)
+                    bound = now + tck
+                else:
+                    # Sole actor: run ahead until the earliest posted
+                    # event elsewhere (core arrivals + peer channels —
+                    # exactly the live heap minus this channel's entry,
+                    # which the drain supersedes anyway).
+                    heap.invalidate(mc_actors[channel])
+                    bound = heap.next_time(window_ns)
+                    if bound > window_ns:
+                        bound = window_ns
+                next_event, last_instant = controllers[channel].drain(
+                    now, bound
+                )
+                heap.push(mc_actors[channel], next_event)
+                if last_instant > floor_base:
+                    floor_base = last_instant
+
+            # --- Deliver completed reads to their cores (service order).
+            if completed:
+                affected = set()
+                for request in completed:
+                    cores[request.core].complete_read(
+                        request, request.completion_ns
+                    )
+                    self._reads_done[request.core].append(request)
+                    affected.add(request.core)
+                completed.clear()
+                for i in affected:
+                    hint = cores[i].next_arrival_hint(now)
+                    hints[i] = hint
+                    if hint is not None:
+                        heap.push(core_actors[i], hint)
+                    else:
+                        heap.invalidate(core_actors[i])
+
+            # --- Advance to the next posted event, floored one tCK past
+            # the last instant processed this iteration. While a refused
+            # request is older than `now` the poll loop crawled
+            # tick-by-tick; mirror that so retry timing is preserved.
+            floor = floor_base + tck
+            if blocked and any(
+                holdback[i] and hints[i] is not None and hints[i] <= now
+                for i in range(n_cores)
+            ):
+                step_to = floor
+            else:
+                step_to = heap.next_time(floor)
+            now = step_to if step_to > floor else floor
+
+        c_iterations.inc(iterations)
+        return self._collect_result(window_ns)
+
+    def _reference_run(self, window_ns: float) -> SystemResult:
+        """The retired cycle-polling loop, kept as the equivalence oracle.
+
+        Polls every core and ticks every controller each iteration —
+        including the historical global-holdback behaviour in which one
+        refused request stops polling all remaining cores. Used by the
+        engine-equivalence property suite and the BENCH_sim benchmarks;
+        not a supported production path.
+        """
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        c_iterations = obs.get_registry().counter("sim.loop_iterations")
         now = 0.0
         guard = 0
         max_iterations = int(window_ns * 50)  # safety net, never binding
@@ -188,7 +384,7 @@ class SystemSimulator:
         tck = self.controllers[0].timing.tCK
         while now < window_ns:
             guard += 1
-            self._c_iterations.inc()
+            c_iterations.inc()
             if guard > max_iterations:
                 raise RuntimeError("simulator failed to make progress")
             # Retry requests that a full queue refused earlier.
@@ -224,7 +420,10 @@ class SystemSimulator:
             ]
             step_to = min([next_event] + arrivals) if arrivals else next_event
             now = max(now + tck, step_to)
+        return self._collect_result(window_ns)
 
+    def _collect_result(self, window_ns: float) -> SystemResult:
+        """Assemble the :class:`SystemResult` (shared by both engines)."""
         stats = self.controllers[0].stats()
         for controller in self.controllers[1:]:
             other = controller.stats()

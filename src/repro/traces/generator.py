@@ -12,6 +12,7 @@ Figure 8 while keeping per-page write counts realistic.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional
 
 import numpy as np
@@ -43,6 +44,15 @@ def generate_page_writes(
     The page starts at a random offset, then alternates a write episode of
     ``1 + Poisson(burst_extra_mean)`` writes with a Pareto(xm, alpha) idle
     gap until the window ends.
+
+    The episode loop is written to preserve the original RNG stream and
+    float rounding bit for bit while avoiding per-write Python work: a
+    burst's timestamps come from one sequential ``cumsum`` over
+    ``[t, spacings]`` (identical rounding to repeated ``t += spacing``)
+    and ``Poisson(0)`` draws are skipped because they consume no RNG
+    bits. The Pareto gap stays an array-shaped draw: numpy's array power
+    rounds differently from scalar ``**``, so a scalar draw would change
+    the trace.
     """
     if duration_ms <= 0:
         raise ValueError("duration_ms must be positive")
@@ -50,18 +60,31 @@ def generate_page_writes(
         raise ValueError("Pareto parameters must be positive")
     if burst_extra_mean < 0:
         raise ValueError("burst_extra_mean must be non-negative")
-    times = []
+    chunks = []
     t = rng.uniform(0.0, min(xm_ms, duration_ms)) if start_ms is None else start_ms
     while t < duration_ms:
-        burst_len = 1 + rng.poisson(burst_extra_mean)
-        spacings = rng.exponential(burst_spacing_ms, size=burst_len)
-        for spacing in spacings:
-            if t >= duration_ms:
-                break
-            times.append(t)
-            t += spacing
-        t += float(pareto_gaps(rng, 1, xm_ms, pareto_alpha)[0])
-    return np.asarray(times, dtype=np.float64)
+        burst_len = (
+            1 + rng.poisson(burst_extra_mean) if burst_extra_mean else 1
+        )
+        acc = np.empty(burst_len + 1, dtype=np.float64)
+        acc[0] = t
+        acc[1:] = rng.exponential(burst_spacing_ms, size=burst_len)
+        acc = acc.cumsum()  # acc[i] = t after i spacings
+        emitted = int(np.searchsorted(acc[:burst_len], duration_ms, "left"))
+        if emitted:
+            chunks.append(acc[:emitted])
+        t = acc[emitted] + float(pareto_gaps(rng, 1, xm_ms, pareto_alpha)[0])
+    if not chunks:
+        return np.asarray([], dtype=np.float64)
+    return np.concatenate(chunks)
+
+
+#: Deterministic traces keyed by (profile fields, seed, window). Every
+#: figure experiment regenerates the same dozen traces from the same
+#: inputs; caching makes the repeats free. Consumers treat returned
+#: traces as immutable (nothing in the repo mutates a WriteTrace).
+_TRACE_CACHE: Dict[tuple, WriteTrace] = {}
+_TRACE_CACHE_LIMIT = 32
 
 
 def generate_trace(
@@ -69,9 +92,17 @@ def generate_trace(
     seed: int = 0,
     duration_ms: Optional[float] = None,
 ) -> WriteTrace:
-    """Generate the full write trace for one workload profile."""
-    rng = np.random.default_rng((seed << 16) ^ name_seed(profile.name))
+    """Generate the full write trace for one workload profile.
+
+    Results are cached: generation is a pure function of the profile,
+    the seed and the window, and the cache key covers all three.
+    """
     window = duration_ms if duration_ms is not None else profile.duration_ms
+    key = (dataclasses.astuple(profile), seed, window)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng((seed << 16) ^ name_seed(profile.name))
 
     n_written = int(round(profile.n_pages * profile.written_page_fraction))
     n_streaming = int(round(n_written * profile.streaming_page_fraction))
@@ -98,9 +129,13 @@ def generate_trace(
         )
         if len(times):
             writes[page] = times
-    return WriteTrace(
+    trace = WriteTrace(
         duration_ms=window,
         writes=writes,
         total_pages=profile.n_pages,
         name=profile.name,
     )
+    if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+    _TRACE_CACHE[key] = trace
+    return trace
