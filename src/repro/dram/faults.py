@@ -83,6 +83,68 @@ def _unit(h: np.ndarray) -> np.ndarray:
     return (np.asarray(h, dtype=_U64) >> _U64(11)) * (1.0 / (1 << 53))
 
 
+def _draw_distinct_columns(
+    pair_base: np.ndarray,
+    pair_pos: np.ndarray,
+    j: np.ndarray,
+    bits_per_row: int,
+    tag: np.uint64,
+) -> np.ndarray:
+    """Distinct column draws per row (rejection on intra-row collisions).
+
+    A cell's draw is rejected iff it matches the column of a lower-``j``
+    cell of the same row, and redrawn on the next counter value — a rule
+    that depends only on the row's own draws, keeping the result
+    independent of how rows are batched. Shared by the content-dependent
+    population (:class:`FaultMap`) and the read-disturbance population
+    (:class:`~repro.dram.disturb.DisturbMap`), each under its own ``tag``
+    so the two populations of one chip seed never correlate.
+    """
+    attempts = np.zeros(len(j), dtype=np.int64)
+    cols = np.empty(len(j), dtype=np.int64)
+    pending = np.arange(len(j))
+    while len(pending):
+        with np.errstate(over="ignore"):
+            h = _mix64(
+                pair_base[pending]
+                ^ tag
+                ^ _mix64(
+                    (j[pending].astype(_U64) << _U64(32))
+                    + attempts[pending].astype(_U64)
+                )
+            )
+        cols[pending] = (_unit(h) * bits_per_row).astype(np.int64)
+        # A draw collides when an earlier-j cell of the same row holds
+        # the same column; later-j duplicates redraw.
+        order = np.lexsort((j, cols, pair_pos))
+        sorted_pos = pair_pos[order]
+        sorted_cols = cols[order]
+        dup = np.zeros(len(j), dtype=bool)
+        same = (sorted_pos[1:] == sorted_pos[:-1]) & (
+            sorted_cols[1:] == sorted_cols[:-1]
+        )
+        dup[order[1:][same]] = True
+        pending = np.flatnonzero(dup)
+        attempts[pending] += 1
+    return cols
+
+
+def _draw_lognormal_thresholds(
+    pair_base: np.ndarray,
+    j: np.ndarray,
+    sigma: float,
+    tag_u1: np.uint64,
+    tag_u2: np.uint64,
+) -> np.ndarray:
+    """Lognormal threshold per cell via Box-Muller on hashed uniforms."""
+    with np.errstate(over="ignore"):
+        key = _mix64(j.astype(_U64) << _U64(32))
+        u1 = _unit(_mix64(pair_base ^ tag_u1 ^ key)) + 2.0 ** -53
+        u2 = _unit(_mix64(pair_base ^ tag_u2 ^ key))
+    z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * math.pi * u2)
+    return np.exp(sigma * z)
+
+
 def _binomial_quantile(u: np.ndarray, n: int, p: float) -> np.ndarray:
     """Vectorised inverse-CDF of Binomial(n, p): smallest k with u < cdf(k).
 
@@ -303,49 +365,17 @@ class FaultMap:
         j: np.ndarray,
         counts: np.ndarray,
     ) -> np.ndarray:
-        """Distinct column draws per row (rejection on intra-row collisions).
-
-        A cell's draw is rejected iff it matches the column of a
-        lower-``j`` cell of the same row, and redrawn on the next counter
-        value — a rule that depends only on the row's own draws, keeping
-        the result independent of how rows are batched.
-        """
-        attempts = np.zeros(len(j), dtype=np.int64)
-        cols = np.empty(len(j), dtype=np.int64)
-        pending = np.arange(len(j))
-        while len(pending):
-            with np.errstate(over="ignore"):
-                h = _mix64(
-                    pair_base[pending]
-                    ^ _TAG_COLUMN
-                    ^ _mix64(
-                        (j[pending].astype(_U64) << _U64(32))
-                        + attempts[pending].astype(_U64)
-                    )
-                )
-            cols[pending] = (_unit(h) * self.bits_per_row).astype(np.int64)
-            # A draw collides when an earlier-j cell of the same row holds
-            # the same column; later-j duplicates redraw.
-            order = np.lexsort((j, cols, pair_pos))
-            sorted_pos = pair_pos[order]
-            sorted_cols = cols[order]
-            dup = np.zeros(len(j), dtype=bool)
-            same = (sorted_pos[1:] == sorted_pos[:-1]) & (
-                sorted_cols[1:] == sorted_cols[:-1]
-            )
-            dup[order[1:][same]] = True
-            pending = np.flatnonzero(dup)
-            attempts[pending] += 1
-        return cols
+        """Distinct physical columns per row, on the content sub-stream."""
+        return _draw_distinct_columns(
+            pair_base, pair_pos, j, self.bits_per_row, _TAG_COLUMN
+        )
 
     def _draw_thresholds(self, pair_base: np.ndarray, j: np.ndarray) -> np.ndarray:
         """Lognormal threshold per cell via Box-Muller on hashed uniforms."""
-        with np.errstate(over="ignore"):
-            key = _mix64(j.astype(_U64) << _U64(32))
-            u1 = _unit(_mix64(pair_base ^ _TAG_THRESH_U1 ^ key)) + 2.0 ** -53
-            u2 = _unit(_mix64(pair_base ^ _TAG_THRESH_U2 ^ key))
-        z = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * math.pi * u2)
-        return np.exp(self.config.threshold_sigma * z)
+        return _draw_lognormal_thresholds(
+            pair_base, j, self.config.threshold_sigma,
+            _TAG_THRESH_U1, _TAG_THRESH_U2,
+        )
 
     # ------------------------------------------------------------------
     # Population access
@@ -447,12 +477,20 @@ class FaultMap:
         row_index: int,
         physical_row_bits: np.ndarray,
         refresh_interval_ms: float,
+        disturb_stress: float = 0.0,
     ) -> np.ndarray:
         """Boolean mask over :meth:`cells_in_row` — True where the cell fails.
 
         One vectorised pass: gather each vulnerable cell's stored value and
         both neighbours, count aggressors by array comparison, and compare
         the stress table against the per-cell thresholds.
+
+        ``disturb_stress`` composes the read-disturbance channel into the
+        predicate: the row's activation-pressure stress (from
+        :meth:`~repro.dram.disturb.DisturbMap.stress_contribution`) adds to
+        the content-coupling stress before the threshold compare. At the
+        default 0.0 the mask is bit-identical to the pure content
+        predicate.
         """
         pop = self.row_population(row_index)
         return self._evaluate(
@@ -462,6 +500,7 @@ class FaultMap:
             np.asarray(physical_row_bits),
             None,
             refresh_interval_ms,
+            disturb_stress,
         )
 
     def failing_columns(
@@ -484,11 +523,16 @@ class FaultMap:
         bits: np.ndarray,
         row_pos: Optional[np.ndarray],
         refresh_interval_ms: float,
+        disturb_stress: Union[float, np.ndarray, None] = None,
     ) -> np.ndarray:
         """Failure mask for a flat batch of cells against content bits.
 
         ``bits`` is one row (1-D, shared by every cell) or a matrix whose
-        rows are indexed by ``row_pos``.
+        rows are indexed by ``row_pos``. ``disturb_stress`` — a scalar, or
+        an array aligned with the batch's rows (indexed by ``row_pos``) —
+        adds activation-pressure stress from the read-disturbance channel
+        on top of the content-coupling stress; ``None``/``0.0`` keeps the
+        pure content predicate, expression-for-expression.
         """
         if len(cols) == 0:
             return np.zeros(0, dtype=bool)
@@ -509,7 +553,19 @@ class FaultMap:
         aggressors = ((cols > 0) & (left_value != value)).astype(np.int64)
         aggressors += ((cols + 1 < width) & (right_value != value)).astype(np.int64)
         table = self._stress_table(refresh_interval_ms)
-        return valid & charged & (table[aggressors] >= thresholds)
+        stress = table[aggressors]
+        if disturb_stress is not None:
+            extra = np.asarray(disturb_stress, dtype=np.float64)
+            if extra.ndim == 0:
+                if float(extra) != 0.0:
+                    stress = stress + float(extra)
+            elif row_pos is not None:
+                stress = stress + extra[row_pos]
+            else:
+                raise ValueError(
+                    "per-row disturb_stress needs a batched evaluation"
+                )
+        return valid & charged & (stress >= thresholds)
 
     def _gather(
         self, rows: np.ndarray
@@ -539,12 +595,15 @@ class FaultMap:
         rows: Union[Sequence[int], np.ndarray],
         physical_bits: np.ndarray,
         refresh_interval_ms: float,
+        disturb_stress: Union[float, np.ndarray, None] = None,
     ) -> np.ndarray:
         """Which of ``rows`` lose at least one bit with the given content.
 
         ``physical_bits`` is either one silicon-order row shared by every
         row in the batch, or a ``(len(rows), width)`` matrix of per-row
         content. Returns a boolean array aligned with ``rows``.
+        ``disturb_stress`` is a scalar, or an array aligned with ``rows``,
+        of read-disturbance stress composed into the failure predicate.
         """
         rows = np.asarray(rows, dtype=np.int64)
         self._check_rows(rows)
@@ -552,6 +611,7 @@ class FaultMap:
         fails = self._evaluate(
             cols, thresholds, true_cell,
             np.asarray(physical_bits), row_pos, refresh_interval_ms,
+            disturb_stress,
         )
         return np.bincount(row_pos[fails], minlength=len(rows)) > 0
 
@@ -560,6 +620,7 @@ class FaultMap:
         rows: Union[Sequence[int], np.ndarray],
         physical_bits: np.ndarray,
         refresh_interval_ms: float,
+        disturb_stress: Union[float, np.ndarray, None] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(row_index, physical_column) of every failing cell in the batch.
 
@@ -572,6 +633,7 @@ class FaultMap:
         fails = self._evaluate(
             cols, thresholds, true_cell,
             np.asarray(physical_bits), row_pos, refresh_interval_ms,
+            disturb_stress,
         )
         return rows[row_pos[fails]], cols[fails]
 

@@ -20,6 +20,8 @@ from . import (
     fig17,
     fig18,
     fig19,
+    hammer01,
+    hammer02,
     table3,
 )
 from .common import ExperimentResult, percent
@@ -40,6 +42,8 @@ __all__ = [
     "fig17",
     "fig18",
     "fig19",
+    "hammer01",
+    "hammer02",
     "percent",
     "table3",
 ]

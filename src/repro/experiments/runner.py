@@ -62,7 +62,7 @@ from ..parallel import (
 )
 from . import (
     fig03, fig04, fig06, fig07, fig08, fig09, fig11, fig12,
-    fig14, fig15, fig16, fig17, fig18, fig19, table3,
+    fig14, fig15, fig16, fig17, fig18, fig19, hammer01, hammer02, table3,
 )
 from .common import ExperimentResult
 
@@ -84,6 +84,10 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig18": fig18.run,
     "fig19": fig19.run,
     "table3": table3.run,
+    # The read-disturbance channel studies sit after the paper's own
+    # figures so an `all` run prints the reproduction tables first.
+    "hammer01": hammer01.run,
+    "hammer02": hammer02.run,
 }
 
 

@@ -55,7 +55,9 @@ WALL_CLOCK_THRESHOLD = 0.30
 #: Name fragments implying "bigger is better" (checked first).
 _HIGHER_TOKENS = ("speedup", "reduction", "hit_rate", "coverage", "ipc")
 #: Name fragments / suffixes implying "smaller is better".
-_LOWER_TOKENS = ("overhead", "latency", "fraction")
+#: ("flip"/"pressure" cover the read-disturbance metrics: more hammer
+#: flips or victim pressure is a reliability regression.)
+_LOWER_TOKENS = ("overhead", "latency", "fraction", "flip", "pressure")
 _LOWER_SUFFIXES = ("_s", "_ns", "_ms")
 
 

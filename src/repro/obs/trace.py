@@ -67,6 +67,10 @@ EVENT_KINDS: Dict[str, frozenset] = {
     "energy_rollup": frozenset(
         {"window_ns", "refresh_pj", "access_pj", "background_pj"}
     ),
+    # Read-disturbance counters per simulated window (experiments/hammer*)
+    "disturb_rollup": frozenset(
+        {"t_ms", "flips", "rows_flipped", "max_pressure"}
+    ),
     # Experiment runner lifecycle (experiments/runner.py)
     "run_started": frozenset({"experiments"}),
     "run_finished": frozenset({"wall_s"}),

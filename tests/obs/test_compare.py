@@ -43,6 +43,9 @@ class TestDirectionHeuristics:
         ("timing.sim.fig06_s", "lower"),
         ("wall_s", "lower"),
         ("window_ms", "lower"),
+        ("hammer02.cell_flips", "lower"),
+        ("hammer01.rows_flipped", "lower"),
+        ("hammer01.max_pressure", "lower"),
         ("counter.sim.loop_iterations", None),
         ("trace_events", None),
     ])

@@ -92,6 +92,33 @@ class TestLiveReporter:
         # 2 done in 4s elapsed -> 1 remaining at ~2s/each.
         assert "eta 2s" in line
 
+    def test_no_eta_before_first_experiment_finishes(self):
+        """done == 0 guard: the eta extrapolation divides by the number
+        of finished experiments, so the first status line must carry the
+        progress counter but no eta (and must not crash)."""
+        live, aggregator, stream, clock = _reporter(interval_s=0.0)
+        clock.advance(1.0)
+        record = _rec("run_started", experiments=["fig06", "fig09"])
+        aggregator.emit(record)
+        live.emit(record)
+        line = stream.getvalue()
+        assert "experiments 0/2" in line
+        assert "eta" not in line
+
+    def test_no_eta_when_all_experiments_done(self):
+        live, aggregator, stream, clock = _reporter(interval_s=0.0)
+        for record in (
+            _rec("run_started", experiments=["fig06"]),
+            _rec("experiment_finished", name="fig06", wall_s=1.0),
+        ):
+            aggregator.emit(record)
+            live.emit(record)
+        clock.advance(2.0)
+        live.close()
+        final = stream.getvalue().splitlines()[-1]
+        assert "experiments 1/1" in final
+        assert "eta" not in final
+
     def test_close_writes_final_line_even_when_throttled(self):
         live, aggregator, stream, clock = _reporter(interval_s=60.0)
         record = _rec("test_started", t_ms=0.0, page=0)
