@@ -280,3 +280,146 @@ class TestLiveAggregationOverhead:
             f"traced run ({events} events, {aggregation_s * 1e3:.2f} ms) — "
             f"budget is {OVERHEAD_BUDGET:.0%}"
         )
+
+
+class TestBusOverhead:
+    """ISSUE 7's bar: bus telemetry adds <5% to a sharded run.
+
+    A worker publishes exactly two heartbeats per work unit (start and
+    finish), each a ``rss_bytes()`` read plus a non-blocking
+    ``mp.Queue.put_nowait``; the parent pays one ``get_nowait`` plus a
+    table fold per message. Both sides are micro-timed over thousands of
+    messages and charged against a deliberately pessimistic 10 ms unit —
+    every real work unit in the repo runs for longer, so the asserted
+    fraction is an upper bound on what any actual run pays.
+    """
+
+    FLOOR_UNIT_S = 0.010
+    HEARTBEATS_PER_UNIT = 2
+
+    def test_bus_overhead_under_5_percent(self, run_once, record_bench):
+        def measure(messages=4000):
+            bus = obs.TelemetryBus(maxsize=messages + 64)
+            try:
+                publisher = bus.publisher("bench-worker")
+
+                def publish_batch():
+                    start = time.perf_counter()
+                    for i in range(messages):
+                        publisher.heartbeat(
+                            "start" if i % 2 == 0 else "finish",
+                            experiment="bench", unit=f"u{i // 2}",
+                            seq=i // 2,
+                        )
+                    return (time.perf_counter() - start) / messages
+
+                publish_s = publish_batch()
+
+                # Everything published above is still queued. The parent
+                # side pays a queue pop plus a worker-table fold per
+                # message. Pop and fold are timed individually on
+                # *successful* operations only: an empty-queue poll while
+                # the mp feeder thread is still pushing bytes through the
+                # pipe is queue latency the executor's supervision loop
+                # absorbs inside its existing 0.5 s wait timeout, not a
+                # per-message cost.
+                import queue as queue_module
+
+                received = []
+                pop_s = 0.0
+                deadline = time.perf_counter() + 30.0
+                while (len(received) < 2 * messages
+                       and time.perf_counter() < deadline):
+                    start = time.perf_counter()
+                    try:
+                        message = bus.queue.get_nowait()
+                    except queue_module.Empty:
+                        time.sleep(0.001)
+                        continue
+                    pop_s += time.perf_counter() - start
+                    received.append(message)
+                drained = len(received)
+
+                start = time.perf_counter()
+                for message in received:
+                    bus.table.observe(message, now=0.0)
+                fold_s = time.perf_counter() - start
+
+                drain_s = (pop_s + fold_s) / max(drained, 1)
+                dropped = publisher.dropped
+            finally:
+                bus.close()
+            return publish_s, drain_s, drained, dropped
+
+        publish_s, drain_s, drained, dropped = run_once(measure)
+
+        assert drained > 1_000
+        assert dropped == 0  # the queue was sized for the batch
+
+        per_unit_s = self.HEARTBEATS_PER_UNIT * (publish_s + drain_s)
+        fraction = per_unit_s / self.FLOOR_UNIT_S
+        record_bench(
+            "obs_bus_overhead",
+            publish_per_message_s=round(publish_s, 9),
+            drain_per_message_s=round(drain_s, 9),
+            messages=drained,
+            est_per_unit_s=round(per_unit_s, 9),
+            est_bus_overhead_fraction=round(fraction, 6),
+            floor_unit_s=self.FLOOR_UNIT_S,
+            budget_fraction=OVERHEAD_BUDGET,
+        )
+        assert fraction < OVERHEAD_BUDGET, (
+            f"bus telemetry costs {fraction:.2%} of a worst-case "
+            f"{self.FLOOR_UNIT_S * 1e3:.0f} ms unit "
+            f"({per_unit_s * 1e6:.1f} us per unit) — budget is "
+            f"{OVERHEAD_BUDGET:.0%}"
+        )
+
+
+class TestProfilerOverhead:
+    """The sampler must stay under 5% at its default 5 ms interval.
+
+    One sample reads the span stack, joins a handful of names and takes
+    an RSS reading; the steady-state overhead is per-sample cost divided
+    by the sampling interval. (With ``--profile`` off the profiler is
+    never constructed, so the disabled cost is exactly zero — guarded
+    by ``test_unprofiled_manifest_has_no_profile`` in the CLI tests.)
+    """
+
+    DEFAULT_INTERVAL_S = 0.005
+
+    def test_sampling_overhead_under_5_percent(self, run_once, record_bench):
+        from repro.obs.profile import SampledProfiler
+
+        def measure(samples=2000):
+            profiler = SampledProfiler(interval_s=self.DEFAULT_INTERVAL_S)
+            with obs.collect_spans("run"):
+                with obs.span("bench"):
+                    with obs.span("inner"):
+                        start = time.perf_counter()
+                        for _ in range(samples):
+                            profiler.sample_once()
+                        per_sample_s = (
+                            time.perf_counter() - start
+                        ) / samples
+            return per_sample_s, profiler
+
+        per_sample_s, profiler = run_once(measure)
+
+        assert profiler.sample_count == 2000
+        assert profiler.attributed_fraction == 1.0
+
+        fraction = per_sample_s / self.DEFAULT_INTERVAL_S
+        record_bench(
+            "obs_profiler_overhead",
+            sample_s=round(per_sample_s, 9),
+            interval_s=self.DEFAULT_INTERVAL_S,
+            est_profiler_overhead_fraction=round(fraction, 6),
+            budget_fraction=OVERHEAD_BUDGET,
+        )
+        assert fraction < OVERHEAD_BUDGET, (
+            f"sampling costs {fraction:.2%} of wall time at the default "
+            f"{self.DEFAULT_INTERVAL_S * 1e3:.0f} ms interval "
+            f"({per_sample_s * 1e6:.1f} us per sample) — budget is "
+            f"{OVERHEAD_BUDGET:.0%}"
+        )

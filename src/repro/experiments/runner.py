@@ -217,7 +217,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--live", action="store_true",
         help="periodic stderr status line (events/s, LO-REF rows, "
-        "outstanding tests, ETA) driven by the in-process aggregator",
+        "outstanding tests, ETA) driven by the in-process aggregator; "
+        "with --jobs N also a per-worker health row fed by the "
+        "cross-process telemetry bus (stalled-worker detection)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample the span stack on a wall-clock timer and record "
+        "collapsed stacks under the manifest's \"profile\" key",
+    )
+    parser.add_argument(
+        "--profile-mem", action="store_true",
+        help="like --profile, plus tracemalloc peak-heap attribution "
+        "per sampled span stack (higher overhead)",
+    )
+    parser.add_argument(
+        "--profile-interval-ms", type=float, default=5.0, metavar="MS",
+        help="profiler sampling interval (default %(default)s)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="also write the samples as collapsed-stack lines "
+        "(flamegraph.pl input) to FILE",
     )
     parser.add_argument(
         "--window-ms", type=float, default=1024.0,
@@ -257,11 +278,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w"):
             pass
 
+    profiling = args.profile or args.profile_mem or bool(args.profile_out)
     manifest = obs.RunManifest.start(
         names, seed=args.seed, quick=not args.full,
         config={"out": args.out, "trace": args.trace, "metrics": args.metrics,
                 "live": args.live, "window_ms": args.window_ms,
-                "jobs": args.jobs, "resume": args.resume},
+                "jobs": args.jobs, "resume": args.resume,
+                "profile": profiling, "profile_mem": args.profile_mem},
     )
     manifest.trace_path = args.trace
 
@@ -314,6 +337,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             unit_timeout_s=args.unit_timeout,
             max_retries=args.retries,
         )
+        if parallel and args.live:
+            # Cross-process telemetry: workers heartbeat over a queue
+            # created on the pool's own start method; the supervision
+            # loop drains it into the live aggregator + worker table.
+            import multiprocessing as _mp
+
+            bus = obs.TelemetryBus(
+                ctx=_mp.get_context(executor.start_method)
+            )
+            executor.attach_bus(
+                bus,
+                sink=aggregator,
+                on_tick=live.tick if live is not None else None,
+            )
+            if live is not None:
+                live.bus = bus
+
+    profiler = (
+        obs.SampledProfiler(
+            interval_s=max(args.profile_interval_ms, 0.1) / 1000.0,
+            mem=args.profile_mem,
+        )
+        if profiling else None
+    )
 
     #: (experiment, seq) -> (shard label, attempt) for the trace merge.
     accepted: Dict[Tuple[str, int], Tuple[str, int]] = {}
@@ -323,6 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.emit("run_started", experiments=names, seed=args.seed,
                  quick=not args.full)
         with obs.collect_spans("run") as collector:
+            if profiler is not None:
+                # Start inside the span collector so samples attribute
+                # to named spans rather than "(no-collector)".
+                profiler.start()
             for name in names:
                 started = time.perf_counter()
                 logger.info("running %s (quick=%s, seed=%d, jobs=%d)",
@@ -379,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if aggregator is not None and not parallel:
             manifest.timeseries = aggregator.to_dict()
     finally:
+        if profiler is not None:
+            profiler.stop()
         if sink is not None:
             obs.set_sink(previous_sink)
             sink.close()
@@ -394,6 +447,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if executor is not None:
         manifest.workers = executor.topology()
         manifest.workers["stats"] = totals
+        if executor.bus is not None:
+            executor.bus.close()
+
+    if profiler is not None:
+        manifest.profile = profiler.to_dict()
+        logger.info(
+            "profiler: %d samples, %.0f%% attributed to named spans",
+            profiler.sample_count, 100 * profiler.attributed_fraction,
+        )
+        if args.profile_out:
+            profiler.write_collapsed(args.profile_out)
+            logger.info("collapsed stacks written to %s", args.profile_out)
 
     if parallel and args.trace:
         parent_shard = trace_shard_path(args.trace, "parent")

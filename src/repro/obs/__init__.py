@@ -17,7 +17,19 @@ Four cooperating pieces, all near-zero-overhead until switched on:
   windowed rollups (HI/LO-REF population, test outcomes, PRIL hit
   rate, controller latency percentiles, energy) land in the manifest.
 * **live status** (:mod:`.live`) — a throttled stderr status line
-  (events/s, LO-REF rows, outstanding tests, ETA) over the aggregator.
+  (events/s, LO-REF rows, outstanding tests, ETA) over the aggregator,
+  plus per-worker health rows when a telemetry bus is attached.
+* **telemetry bus** (:mod:`.bus`) — a multiprocessing-queue heartbeat
+  channel from pool workers to the parent's fleet-style worker table
+  (current unit, RSS, stalled-worker detection via missed heartbeats).
+* **sampled profiler** (:mod:`.profile`) — opt-in wall-clock sampling
+  of the span stack (collapsed-stack / flamegraph output) and optional
+  tracemalloc peak-heap attribution, recorded under the manifest's
+  ``"profile"`` key.
+* **dashboard** (:mod:`.dashboard`) — ``python -m repro.obs.dashboard
+  MANIFEST [TRACE...]`` renders one self-contained static HTML file
+  (inline SVG, no JS) with timeseries, flame view, worker timeline and
+  BENCH trajectories.
 * **regression gate** (:mod:`.compare`) — ``python -m repro.obs.compare
   OLD NEW`` diffs two manifests or ``BENCH_*.json`` files under
   per-metric noise thresholds and exits non-zero on regression.
@@ -30,6 +42,11 @@ from .analytics import (
     AggregatingSink,
     TeeSink,
     aggregate_trace,
+)
+from .bus import (
+    BusPublisher,
+    TelemetryBus,
+    WorkerTable,
 )
 from .compare import (
     ComparisonResult,
@@ -44,6 +61,7 @@ from .manifest import (
     git_revision,
     load_manifest,
 )
+from .profile import SampledProfiler
 from .registry import (
     Counter,
     Gauge,
@@ -79,6 +97,10 @@ __all__ = [
     "AggregatingSink",
     "TeeSink",
     "aggregate_trace",
+    "BusPublisher",
+    "TelemetryBus",
+    "WorkerTable",
+    "SampledProfiler",
     "ComparisonResult",
     "MetricDelta",
     "compare_files",

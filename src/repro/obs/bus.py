@@ -1,0 +1,460 @@
+"""Cross-process telemetry bus: live worker health for sharded runs.
+
+A sharded run (:mod:`repro.parallel`) is observable only *after* the
+fact — worker trace shards and metric snapshots are merged once the pool
+drains. This module makes the run itself a measured object while it is
+still running:
+
+* :class:`BusPublisher` lives in the worker process. It is built from a
+  plain ``multiprocessing.Queue`` handed through the pool initializer and
+  publishes small dict messages — per-unit heartbeats (unit id,
+  experiment, progress, RSS) and periodic counter deltas — with
+  ``put_nowait``: the bus **never blocks or fails a worker**; on a full
+  queue the message is dropped and counted.
+* :class:`TelemetryBus` lives in the parent. :meth:`TelemetryBus.drain`
+  pumps the queue without blocking and folds heartbeats into a
+  fleet-style :class:`WorkerTable` — one row per worker with state
+  (``running``/``idle``/``stalled``/``lost``), current unit, units done,
+  RSS peak and a bounded per-unit timeline for the dashboard. Drained
+  messages can additionally be forwarded to a sink (the live
+  :class:`~repro.obs.analytics.AggregatingSink`), so the live view has
+  data even though worker trace events go to per-worker shard files.
+* **Stall detection**: :meth:`WorkerTable.scan` marks a worker
+  ``stalled`` when its open unit has gone ``stall_after_s`` without a
+  heartbeat; the next heartbeat recovers it. A worker that dies is
+  marked ``lost`` by the executor's crash handling.
+
+Messages carry the *worker's* wall clock (``t``) for the dashboard
+timeline and are stamped with the *parent's* monotonic clock on arrival
+for stall detection, so clock skew between processes never produces
+phantom stalls.
+
+The bus is telemetry only: nothing it carries feeds result tables, the
+merged trace, or the recomputed time-series rollups, so result
+byte-identity across ``--jobs N`` is untouched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = [
+    "BusPublisher",
+    "TelemetryBus",
+    "WorkerTable",
+    "rss_bytes",
+]
+
+#: Per-worker timeline entries kept for the dashboard (oldest dropped).
+TIMELINE_LIMIT = 512
+#: Parent-side lifecycle events kept (retry/timeout/degrade/worker_lost).
+EVENT_LIMIT = 256
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident-set size of this process, best effort.
+
+    Reads ``/proc/self/statm`` where available (Linux), falls back to
+    ``resource.getrusage`` peak RSS, and returns ``None`` on platforms
+    offering neither — telemetry must never raise.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; either way it is a usable scale.
+        return peak * 1024 if peak < 1 << 34 else peak
+    except Exception:
+        return None
+
+
+class BusPublisher:
+    """Worker-side handle: fire-and-forget telemetry onto the queue.
+
+    Holds only the queue and the worker's label, so it is cheap to build
+    inside the pool initializer. ``heartbeat`` also computes the counter
+    delta of the worker's metrics registry since the previous heartbeat
+    (the "periodic metric deltas" of the bus contract) when given a
+    snapshot function.
+    """
+
+    def __init__(
+        self,
+        bus_queue,
+        label: str,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.queue = bus_queue
+        self.label = label
+        self.pid = os.getpid()
+        self._clock = clock
+        self.published = 0
+        self.dropped = 0
+        self._units_done = 0
+        self._last_counters: Dict[str, float] = {}
+
+    def _publish(self, message: Dict[str, Any]) -> None:
+        try:
+            self.queue.put_nowait(message)
+            self.published += 1
+        except (queue_module.Full, ValueError, OSError):
+            # Full queue, or a queue torn down mid-shutdown: drop. The
+            # bus is telemetry; losing a message must never hurt a unit.
+            self.dropped += 1
+
+    def heartbeat(
+        self,
+        phase: str,
+        experiment: Optional[str] = None,
+        unit: Optional[str] = None,
+        seq: Optional[int] = None,
+        wall_s: Optional[float] = None,
+        counters: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Publish one unit-lifecycle heartbeat (``start`` / ``finish``).
+
+        ``counters`` is an absolute counter snapshot; the delta against
+        the previous heartbeat rides on the message so the parent sees
+        per-worker progress without waiting for the end-of-run merge.
+        """
+        if phase == "finish":
+            self._units_done += 1
+        message: Dict[str, Any] = {
+            "kind": "heartbeat",
+            "worker": self.label,
+            "pid": self.pid,
+            "phase": phase,
+            "experiment": experiment,
+            "unit": unit,
+            "seq": seq,
+            "units_done": self._units_done,
+            "rss_bytes": rss_bytes(),
+            "t": self._clock(),
+        }
+        if wall_s is not None:
+            message["wall_s"] = wall_s
+        if counters is not None:
+            delta = {
+                name: value - self._last_counters.get(name, 0)
+                for name, value in counters.items()
+                if value != self._last_counters.get(name, 0)
+            }
+            self._last_counters = dict(counters)
+            if delta:
+                message["metrics"] = delta
+        self._publish(message)
+
+
+@dataclass
+class WorkerRow:
+    """One worker's live state in the fleet table."""
+
+    label: str
+    pid: Optional[int] = None
+    state: str = "idle"  # idle | running | stalled | lost
+    experiment: Optional[str] = None
+    unit: Optional[str] = None
+    seq: Optional[int] = None
+    units_done: int = 0
+    heartbeats: int = 0
+    stalls: int = 0
+    recoveries: int = 0
+    rss_bytes: Optional[int] = None
+    rss_peak_bytes: int = 0
+    first_t: Optional[float] = None
+    last_t: Optional[float] = None
+    #: Parent-monotonic arrival time of the latest heartbeat.
+    last_seen: Optional[float] = None
+    #: Closed per-unit intervals (worker wall clock) for the dashboard.
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+    #: The open interval of the in-flight unit, if any.
+    open_interval: Optional[Dict[str, Any]] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        timeline = list(self.timeline)
+        if self.open_interval is not None:
+            timeline.append(dict(self.open_interval))
+        return {
+            "label": self.label,
+            "pid": self.pid,
+            "state": self.state,
+            "experiment": self.experiment,
+            "unit": self.unit,
+            "units_done": self.units_done,
+            "heartbeats": self.heartbeats,
+            "stalls": self.stalls,
+            "recoveries": self.recoveries,
+            "rss_peak_bytes": self.rss_peak_bytes,
+            "first_t": self.first_t,
+            "last_t": self.last_t,
+            "timeline": timeline,
+            "counters": dict(self.counters),
+        }
+
+
+class WorkerTable:
+    """Fleet-style table of worker health, fed by drained bus messages.
+
+    The table is parent-side state only; it never blocks on the queue.
+    ``now`` arguments are parent-monotonic seconds (injectable for
+    tests).
+    """
+
+    def __init__(
+        self,
+        stall_after_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if stall_after_s <= 0:
+            raise ValueError("stall_after_s must be positive")
+        self.stall_after_s = stall_after_s
+        self._clock = clock
+        self.workers: Dict[str, WorkerRow] = {}
+        self.messages = 0
+
+    def row(self, label: str) -> WorkerRow:
+        entry = self.workers.get(label)
+        if entry is None:
+            entry = self.workers[label] = WorkerRow(label=label)
+        return entry
+
+    # -- ingestion -----------------------------------------------------
+    def observe(
+        self, message: Mapping[str, Any], now: Optional[float] = None
+    ) -> WorkerRow:
+        """Fold one heartbeat into the table; returns the updated row."""
+        now = self._clock() if now is None else now
+        self.messages += 1
+        row = self.row(str(message.get("worker", "?")))
+        row.pid = message.get("pid", row.pid)
+        row.heartbeats += 1
+        row.last_seen = now
+        t = message.get("t")
+        if t is not None:
+            if row.first_t is None:
+                row.first_t = t
+            row.last_t = t
+        rss = message.get("rss_bytes")
+        if rss is not None:
+            row.rss_bytes = rss
+            if rss > row.rss_peak_bytes:
+                row.rss_peak_bytes = rss
+        if row.state == "stalled":
+            row.recoveries += 1
+        phase = message.get("phase")
+        if phase == "start":
+            row.state = "running"
+            row.experiment = message.get("experiment")
+            row.unit = message.get("unit")
+            row.seq = message.get("seq")
+            row.open_interval = {
+                "experiment": row.experiment,
+                "unit": row.unit,
+                "seq": row.seq,
+                "t_start": t,
+                "t_end": None,
+            }
+        elif phase == "finish":
+            row.state = "idle"
+            row.units_done = message.get("units_done", row.units_done + 1)
+            interval = row.open_interval or {
+                "experiment": message.get("experiment"),
+                "unit": message.get("unit"),
+                "seq": message.get("seq"),
+                "t_start": t,
+                "t_end": None,
+            }
+            interval["t_end"] = t
+            if message.get("wall_s") is not None:
+                interval["wall_s"] = message["wall_s"]
+            row.timeline.append(interval)
+            del row.timeline[:-TIMELINE_LIMIT]
+            row.open_interval = None
+        else:  # a bare liveness ping keeps whatever state the row had
+            if row.state == "stalled":
+                row.state = "running" if row.open_interval else "idle"
+        for name, delta in (message.get("metrics") or {}).items():
+            row.counters[name] = row.counters.get(name, 0) + delta
+        return row
+
+    # -- health --------------------------------------------------------
+    def scan(self, now: Optional[float] = None) -> List[str]:
+        """Mark workers whose open unit outlived the heartbeat budget.
+
+        Returns the labels that *newly* became stalled on this scan.
+        """
+        now = self._clock() if now is None else now
+        newly = []
+        for row in self.workers.values():
+            if (
+                row.state == "running"
+                and row.last_seen is not None
+                and now - row.last_seen > self.stall_after_s
+            ):
+                row.state = "stalled"
+                row.stalls += 1
+                newly.append(row.label)
+        return newly
+
+    def mark_lost(self, pid: Optional[int] = None,
+                  label: Optional[str] = None) -> List[WorkerRow]:
+        """Mark matching workers lost (dead process); returns the rows."""
+        rows = []
+        for row in self.workers.values():
+            if row.state == "lost":
+                continue
+            if (label is not None and row.label == label) or (
+                pid is not None and row.pid == pid
+            ):
+                row.state = "lost"
+                rows.append(row)
+        return rows
+
+    def in_flight(self) -> List[WorkerRow]:
+        """Rows whose last heartbeat opened a unit that never finished."""
+        return [
+            row for row in self.workers.values()
+            if row.open_interval is not None
+        ]
+
+    @property
+    def units_done(self) -> int:
+        return sum(row.units_done for row in self.workers.values())
+
+    # -- views ---------------------------------------------------------
+    def render_rows(self, now: Optional[float] = None) -> List[str]:
+        """One compact status string per worker, for the live reporter."""
+        now = self._clock() if now is None else now
+        lines = []
+        for label in sorted(self.workers):
+            row = self.workers[label]
+            if row.state == "running" and row.unit is not None:
+                doing = f"{row.experiment}/{row.unit}"
+            elif row.state == "stalled" and row.unit is not None:
+                doing = f"STALLED {row.experiment}/{row.unit}"
+            else:
+                doing = row.state
+            rss = (
+                f"{row.rss_peak_bytes / (1 << 20):.0f}MB"
+                if row.rss_peak_bytes else "-"
+            )
+            age = (
+                f"{max(0.0, now - row.last_seen):.0f}s"
+                if row.last_seen is not None else "-"
+            )
+            lines.append(
+                f"  {label}: {doing} | units {row.units_done} | "
+                f"rss {rss} | hb {age} ago"
+            )
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stall_after_s": self.stall_after_s,
+            "messages": self.messages,
+            "workers": [
+                self.workers[label].to_dict()
+                for label in sorted(self.workers)
+            ],
+        }
+
+
+class TelemetryBus:
+    """Parent-side bus: the queue, the worker table, lifecycle events.
+
+    Build it with the same multiprocessing context as the pool that will
+    inherit ``bus.queue`` (the executor's start method), hand
+    ``bus.queue`` to the worker initializer, and call :meth:`drain` from
+    the supervision loop and the live reporter tick.
+    """
+
+    def __init__(
+        self,
+        ctx=None,
+        stall_after_s: float = 10.0,
+        maxsize: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        context = ctx if ctx is not None else multiprocessing
+        self.queue = context.Queue(maxsize)
+        self.table = WorkerTable(stall_after_s=stall_after_s, clock=clock)
+        self._clock = clock
+        self.events: List[Dict[str, Any]] = []
+        self.drained = 0
+        self._closed = False
+
+    def publisher(self, label: str) -> BusPublisher:
+        """A worker-side handle (also usable in-process, e.g. tests)."""
+        return BusPublisher(self.queue, label)
+
+    def drain(self, sink=None, scan: bool = True) -> int:
+        """Pump every queued message into the table, without blocking.
+
+        ``sink`` (anything with ``emit``) additionally receives each
+        drained message — the live aggregator rides here. Returns the
+        number of messages drained. ``scan=False`` skips the stall scan
+        (tests driving the clock by hand).
+        """
+        drained = 0
+        now = self._clock()
+        while True:
+            try:
+                message = self.queue.get_nowait()
+            except (queue_module.Empty, ValueError, OSError):
+                break
+            drained += 1
+            if message.get("kind") == "heartbeat":
+                self.table.observe(message, now=now)
+            else:
+                self._record(message)
+            if sink is not None:
+                sink.emit(message)
+        self.drained += drained
+        if scan:
+            self.table.scan(now=now)
+        return drained
+
+    def record_event(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Parent-side lifecycle event (retry/timeout/degrade/worker_lost)."""
+        event = {"kind": kind, "t": time.time()}
+        event.update(fields)
+        self._record(event)
+        return event
+
+    def _record(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        del self.events[:-EVENT_LIMIT]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe view for the run manifest (``workers.telemetry``)."""
+        data = self.table.to_dict()
+        data["events"] = [dict(event) for event in self.events]
+        data["drained"] = self.drained
+        return data
+
+    def close(self) -> None:
+        """Release the queue; drain first so late messages are kept."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.drain(scan=False)
+        except Exception:
+            pass
+        try:
+            self.queue.close()
+            self.queue.join_thread()
+        except (OSError, ValueError):
+            pass

@@ -53,12 +53,21 @@ DEFAULT_THRESHOLD = 0.10
 WALL_CLOCK_THRESHOLD = 0.30
 
 #: Name fragments implying "bigger is better" (checked first).
-_HIGHER_TOKENS = ("speedup", "reduction", "hit_rate", "coverage", "ipc")
+#: ("attributed" is the profiler's span-attribution fraction — it must
+#: win over the generic "fraction" lower-is-better token below.)
+_HIGHER_TOKENS = ("speedup", "reduction", "hit_rate", "coverage", "ipc",
+                  "attributed")
 #: Name fragments / suffixes implying "smaller is better".
 #: ("flip"/"pressure" cover the read-disturbance metrics: more hammer
-#: flips or victim pressure is a reliability regression.)
-_LOWER_TOKENS = ("overhead", "latency", "fraction", "flip", "pressure")
+#: flips or victim pressure is a reliability regression; "rss" covers
+#: the bus/profiler memory high-water marks.)
+_LOWER_TOKENS = ("overhead", "latency", "fraction", "flip", "pressure",
+                 "rss")
 _LOWER_SUFFIXES = ("_s", "_ns", "_ms")
+#: Fragments whose metrics are as noisy as wall clock (allocator and
+#: page-cache behavior swing RSS across runs the same way CI runners
+#: swing timings).
+_NOISY_TOKENS = ("rss",)
 
 
 def classify_direction(name: str) -> Optional[str]:
@@ -108,6 +117,19 @@ def _metrics_of_manifest(data: Mapping) -> Dict[str, float]:
     for name, value in (snapshot.get("gauges") or {}).items():
         if _is_number(value):
             metrics[f"gauge.{name}"] = float(value)
+    profile = data.get("profile") or {}
+    for field_name in ("sample_count", "attributed_fraction",
+                       "rss_peak_bytes", "wall_s"):
+        if _is_number(profile.get(field_name)):
+            metrics[f"profile.{field_name}"] = float(profile[field_name])
+    telemetry = ((data.get("workers") or {}).get("telemetry") or {})
+    rss_peaks = [
+        worker["rss_peak_bytes"]
+        for worker in telemetry.get("workers") or []
+        if _is_number(worker.get("rss_peak_bytes"))
+    ]
+    if rss_peaks:
+        metrics["workers.rss_peak_bytes"] = float(max(rss_peaks))
     return metrics
 
 
@@ -164,7 +186,10 @@ def _resolve_threshold(
 ) -> float:
     if overrides and name in overrides:
         return overrides[name]
-    if name.rsplit(".", 1)[-1].endswith("_s"):
+    base = name.rsplit(".", 1)[-1].lower()
+    if base.endswith("_s"):
+        return max(threshold, WALL_CLOCK_THRESHOLD)
+    if any(token in base for token in _NOISY_TOKENS):
         return max(threshold, WALL_CLOCK_THRESHOLD)
     return threshold
 

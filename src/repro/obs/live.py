@@ -12,10 +12,27 @@ It holds no aggregation state of its own beyond run progress (the
 ``run_started``/``experiment_finished`` markers for the ETA); row
 populations and outstanding-test counts come straight from the shared
 aggregator, so watching a run costs one clock read per event.
+
+With a :class:`~repro.obs.bus.TelemetryBus` attached (sharded runs),
+each repaint additionally prints one row per pool worker — current
+unit, units done, RSS peak, heartbeat age, and ``STALLED`` flags from
+the bus's missed-heartbeat scan::
+
+    [live] 1203 events (40 ev/s) | lo-ref rows 64 | ...
+      worker-g1-4711: fig04/scan-3 | units 2 | rss 91MB | hb 0s ago
+
+During a sharded run the parent sees no worker events between unit
+completions, so the executor's supervision loop calls :meth:`tick`
+on every bus drain — the repaint cadence is wall-clock driven, not
+event driven. Lines are clipped to the terminal width, re-queried on
+every repaint (so window resizes are picked up without any SIGWINCH
+handler) and falling back to 80 columns when there is no terminal
+(CI redirects, pipes).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from typing import Callable, Mapping, Optional, TextIO
@@ -23,6 +40,9 @@ from typing import Callable, Mapping, Optional, TextIO
 from .analytics import AggregatingSink
 
 __all__ = ["LiveReporter"]
+
+#: Width used when the output is not a terminal (CI logs, pipes).
+FALLBACK_COLUMNS = 80
 
 
 class LiveReporter:
@@ -38,6 +58,11 @@ class LiveReporter:
         Minimum wall-clock spacing between status lines.
     clock:
         Monotonic time source, injectable for tests.
+    bus:
+        Optional :class:`~repro.obs.bus.TelemetryBus`; when set, each
+        repaint appends per-worker health rows from its worker table.
+        Assignable after construction (the runner builds the reporter
+        before the executor exists).
     """
 
     def __init__(
@@ -46,12 +71,14 @@ class LiveReporter:
         stream: Optional[TextIO] = None,
         interval_s: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        bus=None,
     ) -> None:
         if interval_s < 0:
             raise ValueError("interval_s must be non-negative")
         self.aggregator = aggregator
         self.stream = stream if stream is not None else sys.stderr
         self.interval_s = interval_s
+        self.bus = bus
         self._clock = clock
         self._started = clock()
         self._last_report = self._started
@@ -63,11 +90,25 @@ class LiveReporter:
         kind = record.get("kind")
         if kind == "run_started":
             experiments = record.get("experiments")
+            # An empty experiment list is still a known total (0), so
+            # the final line can say "experiments 0/0"; only a missing
+            # field leaves the total unknown.
             self._experiments_total = (
-                len(experiments) if experiments else None
+                len(experiments) if experiments is not None else None
             )
         elif kind == "experiment_finished":
             self._experiments_done += 1
+        now = self._clock()
+        if now - self._last_report >= self.interval_s:
+            self._write_status(now)
+
+    def tick(self) -> None:
+        """Repaint on wall-clock alone (no record needed).
+
+        The executor's supervision loop calls this while units are in
+        flight, so worker rows stay fresh even when the parent process
+        sees no trace events for seconds at a time.
+        """
         now = self._clock()
         if now - self._last_report >= self.interval_s:
             self._write_status(now)
@@ -77,6 +118,24 @@ class LiveReporter:
         self._write_status(self._clock())
 
     # ------------------------------------------------------------------
+    def _columns(self) -> Optional[int]:
+        """Clip width: the tty's, 80 if a tty won't say, None otherwise.
+
+        A non-terminal stream (CI redirect, pipe, test buffer) gets no
+        clipping at all — log files want the whole line.
+        """
+        try:
+            if not self.stream.isatty():
+                return None
+        except (OSError, ValueError, AttributeError):
+            return None
+        try:
+            # Queried on every repaint, so window resizes are picked up
+            # without installing a SIGWINCH handler.
+            return os.get_terminal_size(self.stream.fileno()).columns
+        except (OSError, ValueError, AttributeError):
+            return FALLBACK_COLUMNS
+
     def _write_status(self, now: float) -> None:
         aggregator = self.aggregator
         elapsed = max(now - self._started, 1e-9)
@@ -88,11 +147,18 @@ class LiveReporter:
         ]
         total = self._experiments_total
         done = self._experiments_done
-        if total:
+        if total is not None:
             parts.append(f"experiments {done}/{total}")
             if 0 < done < total:
                 eta_s = elapsed / done * (total - done)
                 parts.append(f"eta {eta_s:.0f}s")
-        print("[live] " + " | ".join(parts), file=self.stream, flush=True)
+        lines = ["[live] " + " | ".join(parts)]
+        if self.bus is not None:
+            lines.extend(self.bus.table.render_rows(now=now))
+        columns = self._columns()
+        for line in lines:
+            if columns is not None:
+                line = line[:max(columns, 16)]
+            print(line, file=self.stream, flush=True)
         self._last_report = now
         self.reports_written += 1

@@ -118,6 +118,52 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
         lines.append(_table(
             sorted(counters.items()), header=("counter", "value")
         ))
+    workers = manifest.get("workers")
+    if workers:
+        stats = workers.get("stats") or {}
+        lines.append("")
+        lines.append(
+            f"workers: jobs {workers.get('jobs')} "
+            f"({workers.get('start_method')}), "
+            + ", ".join(f"{k} {v}" for k, v in sorted(stats.items()))
+        )
+        telemetry = (workers.get("telemetry") or {}).get("workers") or []
+        if telemetry:
+            lines.append(_table(
+                [
+                    (
+                        w.get("label"), w.get("state"),
+                        w.get("units_done"), w.get("heartbeats"),
+                        w.get("stalls"),
+                        f"{(w.get('rss_peak_bytes') or 0) / (1 << 20):.0f}MB",
+                    )
+                    for w in telemetry
+                ],
+                header=("worker", "state", "units", "heartbeats",
+                        "stalls", "rss_peak"),
+            ))
+    profile = manifest.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(
+            f"profile: {profile.get('sample_count', 0)} samples at "
+            f"{profile.get('interval_s', 0.0) * 1000:g} ms, "
+            f"{profile.get('attributed_fraction', 0.0):.1%} attributed, "
+            f"rss peak "
+            f"{(profile.get('rss_peak_bytes') or 0) / (1 << 20):.0f}MB"
+        )
+        stacks = sorted(
+            (profile.get("stacks") or {}).items(),
+            key=lambda kv: -kv[1],
+        )[:10]
+        if stacks:
+            lines.append(_table(stacks, header=("stack", "samples")))
+        mem = profile.get("mem")
+        if mem:
+            lines.append(
+                f"tracemalloc peak: "
+                f"{mem.get('tracemalloc_peak_bytes', 0) / (1 << 20):.1f}MB"
+            )
     return "\n".join(lines)
 
 

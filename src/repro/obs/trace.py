@@ -82,6 +82,10 @@ EVENT_KINDS: Dict[str, frozenset] = {
     "unit_finished": frozenset(
         {"experiment", "unit", "seq", "attempt", "wall_s"}
     ),
+    # A pool worker died; the parent records the last unit it was known
+    # to be holding (fingerprint from the checkpoint journal) so resume
+    # diagnostics can name the culprit (parallel/executor.py).
+    "worker_lost": frozenset({"experiment", "unit", "fingerprint"}),
 }
 
 

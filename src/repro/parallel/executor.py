@@ -92,6 +92,17 @@ class WorkerObsConfig:
 # Worker-side plumbing (top level: must be picklable / importable)
 # ----------------------------------------------------------------------
 _WORKER_LABEL: Optional[str] = None
+_BUS_PUBLISHER = None  # per-process BusPublisher when the bus is wired
+
+
+def _worker_counters() -> Optional[Dict[str, float]]:
+    """Counter snapshot for heartbeat metric deltas (None when disabled)."""
+    from .. import obs
+
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return None
+    return registry.snapshot()["counters"]
 
 
 def _dump_worker_metrics(registry, path: str) -> None:
@@ -103,12 +114,21 @@ def _dump_worker_metrics(registry, path: str) -> None:
         handle.write("\n")
 
 
-def _worker_init(obs_cfg: WorkerObsConfig, generation: int) -> None:
+def _worker_init(
+    obs_cfg: WorkerObsConfig, generation: int, bus_queue=None
+) -> None:
     """Give the worker its own obs world (never the parent's file handles)."""
-    global _WORKER_LABEL
+    global _WORKER_LABEL, _BUS_PUBLISHER
     from .. import obs
+    from ..obs.bus import BusPublisher
 
     _WORKER_LABEL = f"worker-g{generation}-{os.getpid()}"
+    # The queue rides through the pool initargs (a legal inheritance
+    # path for both fork and spawn); heartbeats are fire-and-forget.
+    _BUS_PUBLISHER = (
+        BusPublisher(bus_queue, _WORKER_LABEL) if bus_queue is not None
+        else None
+    )
     obs.set_collector(None)
     sink = None
     if obs_cfg.trace_base:
@@ -151,6 +171,11 @@ def _run_unit_chunk(
             "unit_started", experiment=unit.experiment, unit=unit.unit_id,
             seq=unit.seq, attempt=attempt,
         )
+        if _BUS_PUBLISHER is not None:
+            _BUS_PUBLISHER.heartbeat(
+                "start", experiment=unit.experiment, unit=unit.unit_id,
+                seq=unit.seq,
+            )
         started = time.perf_counter()
         entry: Dict[str, Any] = {
             "key": unit.key,
@@ -170,6 +195,12 @@ def _run_unit_chunk(
             "unit_finished", experiment=unit.experiment, unit=unit.unit_id,
             seq=unit.seq, attempt=attempt, wall_s=entry["wall_s"],
         )
+        if _BUS_PUBLISHER is not None:
+            _BUS_PUBLISHER.heartbeat(
+                "finish", experiment=unit.experiment, unit=unit.unit_id,
+                seq=unit.seq, wall_s=entry["wall_s"],
+                counters=_worker_counters(),
+            )
         out.append(entry)
     return out
 
@@ -187,6 +218,7 @@ class ExecutionStats:
     timeouts: int = 0
     degraded: int = 0
     pool_rebuilds: int = 0
+    workers_lost: int = 0
     unit_walls: Dict[str, float] = field(default_factory=dict)
     #: unit key -> attempt id whose payload was accepted (merge layer
     #: uses this to pick the authoritative trace block after retries).
@@ -202,6 +234,7 @@ class ExecutionStats:
             "timeouts": self.timeouts,
             "degraded": self.degraded,
             "pool_rebuilds": self.pool_rebuilds,
+            "workers_lost": self.workers_lost,
         }
 
 
@@ -244,8 +277,39 @@ class ParallelExecutor:
         self._generation = 0
         self._attempts_issued = 0
         self._workers_seen: Dict[str, int] = {}
+        self.bus = None  # TelemetryBus, via attach_bus()
+        self._on_tick: Optional[Callable[[], None]] = None
+        self._bus_sink = None
         methods = multiprocessing.get_all_start_methods()
         self.start_method = "fork" if "fork" in methods else methods[0]
+
+    # -- telemetry bus ---------------------------------------------------
+    def attach_bus(
+        self,
+        bus,
+        sink=None,
+        on_tick: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Wire a :class:`~repro.obs.bus.TelemetryBus` into the pool.
+
+        Must be called before the first pooled submission (the queue is
+        handed to workers through the pool initializer). ``sink``
+        additionally receives drained messages (the live aggregator);
+        ``on_tick`` fires after each supervision-loop drain so a live
+        reporter can refresh between unit completions.
+        """
+        if self._pool is not None:
+            raise RuntimeError("attach_bus() after the pool started")
+        self.bus = bus
+        self._bus_sink = sink
+        self._on_tick = on_tick
+
+    def _service_bus(self) -> None:
+        """Drain bus telemetry and let the live layer repaint."""
+        if self.bus is not None:
+            self.bus.drain(sink=self._bus_sink)
+        if self._on_tick is not None:
+            self._on_tick()
 
     # -- pool lifecycle -------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -255,7 +319,11 @@ class ParallelExecutor:
                 max_workers=self.jobs,
                 mp_context=multiprocessing.get_context(self.start_method),
                 initializer=_worker_init,
-                initargs=(self.obs_cfg, self._generation),
+                initargs=(
+                    self.obs_cfg,
+                    self._generation,
+                    self.bus.queue if self.bus is not None else None,
+                ),
             )
         return self._pool
 
@@ -284,7 +352,7 @@ class ParallelExecutor:
 
     def topology(self) -> Dict[str, Any]:
         """Worker topology for the run manifest."""
-        return {
+        data: Dict[str, Any] = {
             "jobs": self.jobs,
             "start_method": self.start_method,
             "generations": self._generation,
@@ -293,6 +361,10 @@ class ParallelExecutor:
                 for label, count in sorted(self._workers_seen.items())
             ],
         }
+        if self.bus is not None:
+            self.bus.drain(sink=self._bus_sink)
+            data["telemetry"] = self.bus.to_dict()
+        return data
 
     # -- unit execution -------------------------------------------------
     def run_units(
@@ -350,7 +422,7 @@ class ParallelExecutor:
             if self.jobs == 1:
                 self._run_inline(pending, accept, emit_markers=False)
             else:
-                self._run_pooled(pending, accept, stats)
+                self._run_pooled(pending, accept, stats, fingerprints)
         return [results[unit.seq] for unit in units], stats
 
     # -- inline (jobs == 1, and the serial-degrade path) ----------------
@@ -388,11 +460,57 @@ class ParallelExecutor:
         )
         return [list(units[i:i + size]) for i in range(0, len(units), size)]
 
+    def _record_worker_lost(
+        self,
+        stats: ExecutionStats,
+        lost_units: Sequence[WorkUnit],
+        fingerprints: Mapping[str, str],
+    ) -> None:
+        """Name the unit(s) a dead worker was last known to hold.
+
+        Prefers the bus's live view (rows whose last heartbeat opened a
+        unit that never finished — this catches a worker that died
+        *between* units, whose chunk the pool would only re-report at
+        rebuild time); falls back to the failed chunk's own units.
+        """
+        from .. import obs
+
+        stats.workers_lost += 1
+        suspects: List[Tuple[str, Optional[str]]] = []
+        if self.bus is not None:
+            self.bus.drain(sink=self._bus_sink)
+            for row in self.bus.table.in_flight():
+                if row.unit is not None:
+                    suspects.append((row.unit, row.experiment))
+                self.bus.table.mark_lost(label=row.label)
+        if not suspects:
+            suspects = [(unit.unit_id, unit.experiment) for unit in lost_units[:1]]
+        by_unit_id = {unit.unit_id: unit for unit in lost_units}
+        for unit_id, experiment in suspects:
+            unit = by_unit_id.get(unit_id)
+            fingerprint = fingerprints.get(unit.key) if unit is not None else None
+            obs.emit(
+                "worker_lost",
+                experiment=experiment,
+                unit=unit_id,
+                fingerprint=fingerprint,
+            )
+            if self.bus is not None:
+                self.bus.record_event(
+                    "worker_lost", experiment=experiment, unit=unit_id,
+                    fingerprint=fingerprint,
+                )
+            logger.warning(
+                "worker lost while holding unit %s/%s (fingerprint %s)",
+                experiment, unit_id, fingerprint,
+            )
+
     def _run_pooled(
         self,
         units: Sequence[WorkUnit],
         accept: Callable[..., None],
         stats: ExecutionStats,
+        fingerprints: Mapping[str, str],
     ) -> None:
         queue = deque(self._chunk(units))
         attempts: Dict[str, int] = {}
@@ -420,6 +538,11 @@ class ParallelExecutor:
                     unit.key, count, reason,
                 )
                 stats.degraded += 1
+                if self.bus is not None:
+                    self.bus.record_event(
+                        "degrade", unit=unit.key, reason=reason,
+                        attempts=count,
+                    )
                 self._run_inline([unit], accept, emit_markers=True)
             else:
                 logger.warning(
@@ -427,6 +550,10 @@ class ParallelExecutor:
                     unit.key, reason, count, self.max_retries,
                 )
                 stats.retried += 1
+                if self.bus is not None:
+                    self.bus.record_event(
+                        "retry", unit=unit.key, reason=reason, attempts=count,
+                    )
                 queue.append([unit])  # retries go out as singletons
 
         while queue or in_flight:
@@ -440,9 +567,14 @@ class ParallelExecutor:
                     for tagged, submitted in in_flight.values()
                 ]
                 timeout = max(0.0, min(deadlines))
+            if self.bus is not None:
+                # A blocking wait would starve the live view between
+                # unit completions; wake often enough to repaint.
+                timeout = 0.5 if timeout is None else min(timeout, 0.5)
             finished, _ = wait(
                 set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED
             )
+            self._service_bus()
             broken = False
             for future in finished:
                 tagged, _ = in_flight.pop(future)
@@ -450,6 +582,9 @@ class ParallelExecutor:
                     entries = future.result()
                 except BrokenProcessPool:
                     broken = True
+                    self._record_worker_lost(
+                        stats, [unit for unit, _ in tagged], fingerprints
+                    )
                     for unit, _attempt in tagged:
                         handle_failure(unit, "worker process died")
                     continue
@@ -488,5 +623,10 @@ class ParallelExecutor:
                     abandoned = [in_flight.pop(future) for future in overdue]
                     self._discard_pool(terminate=True)
                     for tagged, _ in abandoned:
+                        if self.bus is not None:
+                            self.bus.record_event(
+                                "timeout",
+                                units=[unit.key for unit, _ in tagged],
+                            )
                         for unit, _attempt in tagged:
                             handle_failure(unit, "unit timeout")

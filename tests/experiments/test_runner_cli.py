@@ -272,3 +272,50 @@ class TestParallelCli:
         assert "trace summary" in out
         # Both shards' records are in the merged stream.
         assert " 2" in out.split("run_started")[1].splitlines()[0]
+
+
+class TestProfilingCli:
+    def test_profile_records_manifest_section(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["fig06", "--profile", "--profile-interval-ms", "1",
+                     "--manifest", str(manifest)]) == 0
+        profile = obs.load_manifest(str(manifest))["profile"]
+        assert profile is not None
+        assert profile["sample_count"] >= 0
+        assert 0.0 <= profile["attributed_fraction"] <= 1.0
+        assert profile["interval_s"] == pytest.approx(0.001)
+        # Samples land on the runner's named spans (root "run").
+        assert all(s == "(no-collector)" or s.split(";")[0] == "run"
+                   for s in profile["stacks"])
+
+    def test_profile_out_writes_collapsed_stacks(self, tmp_path, capsys):
+        stacks = tmp_path / "stacks.txt"
+        assert main(["fig06", "--profile",
+                     "--profile-interval-ms", "1",
+                     "--profile-out", str(stacks),
+                     "--manifest", str(tmp_path / "run.json")]) == 0
+        for line in stacks.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+
+    def test_unprofiled_manifest_has_no_profile(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["fig06", "--manifest", str(manifest)]) == 0
+        assert obs.load_manifest(str(manifest))["profile"] is None
+
+    def test_live_sharded_run_records_bus_telemetry(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["fig06", "--jobs", "2", "--live",
+                     "--manifest", str(manifest),
+                     "--checkpoint", str(tmp_path / "c.jsonl")]) == 0
+        workers = obs.load_manifest(str(manifest))["workers"]
+        telemetry = workers["telemetry"]
+        rows = telemetry["workers"]
+        assert sum(r["units_done"] for r in rows) == 4
+        assert all(r["state"] in ("idle", "running") for r in rows)
+
+    def test_serial_live_run_has_no_telemetry(self, tmp_path, capsys):
+        manifest = tmp_path / "run.json"
+        assert main(["fig06", "--live", "--manifest", str(manifest)]) == 0
+        assert obs.load_manifest(str(manifest))["workers"] is None

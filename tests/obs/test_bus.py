@@ -1,0 +1,298 @@
+"""Telemetry bus: heartbeats, the worker table, stall/recovery, drain."""
+
+import queue as queue_module
+import time
+
+import pytest
+
+from repro.obs.bus import (
+    EVENT_LIMIT,
+    TIMELINE_LIMIT,
+    BusPublisher,
+    TelemetryBus,
+    WorkerTable,
+    rss_bytes,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _heartbeat(worker="w0", phase="start", experiment="fig04",
+               unit="scan-0", seq=0, t=1000.0, **extra):
+    message = {
+        "kind": "heartbeat", "worker": worker, "pid": 4711,
+        "phase": phase, "experiment": experiment, "unit": unit,
+        "seq": seq, "units_done": extra.pop("units_done", 0),
+        "rss_bytes": extra.pop("rss_bytes", 50 << 20), "t": t,
+    }
+    message.update(extra)
+    return message
+
+
+class TestRssBytes:
+    __test__ = True
+
+    def test_returns_plausible_size_or_none(self):
+        value = rss_bytes()
+        # Never raises; on Linux it is this process's RSS in bytes.
+        assert value is None or 1 << 20 < value < 1 << 44
+
+
+class TestBusPublisher:
+    __test__ = True
+
+    def test_heartbeat_message_shape(self):
+        q = queue_module.Queue()
+        pub = BusPublisher(q, "w3", clock=lambda: 123.5)
+        pub.heartbeat("start", experiment="fig04", unit="scan-2", seq=7)
+        message = q.get_nowait()
+        assert message["kind"] == "heartbeat"
+        assert message["worker"] == "w3"
+        assert message["phase"] == "start"
+        assert message["experiment"] == "fig04"
+        assert message["unit"] == "scan-2"
+        assert message["seq"] == 7
+        assert message["units_done"] == 0
+        assert message["t"] == 123.5
+        assert "wall_s" not in message
+        assert pub.published == 1
+
+    def test_finish_increments_units_done_and_carries_wall(self):
+        q = queue_module.Queue()
+        pub = BusPublisher(q, "w0")
+        pub.heartbeat("start", unit="u1")
+        pub.heartbeat("finish", unit="u1", wall_s=0.25)
+        q.get_nowait()
+        finish = q.get_nowait()
+        assert finish["units_done"] == 1
+        assert finish["wall_s"] == 0.25
+
+    def test_counter_deltas_between_heartbeats(self):
+        q = queue_module.Queue()
+        pub = BusPublisher(q, "w0")
+        pub.heartbeat("finish", unit="u1", counters={"tests": 10, "rows": 4})
+        pub.heartbeat("finish", unit="u2", counters={"tests": 15, "rows": 4})
+        first = q.get_nowait()
+        second = q.get_nowait()
+        assert first["metrics"] == {"tests": 10, "rows": 4}
+        # Unchanged counters drop out of the delta entirely.
+        assert second["metrics"] == {"tests": 5}
+
+    def test_full_queue_drops_without_raising(self):
+        q = queue_module.Queue(maxsize=1)
+        pub = BusPublisher(q, "w0")
+        pub.heartbeat("start", unit="u1")
+        pub.heartbeat("start", unit="u2")  # queue full: dropped
+        assert pub.published == 1
+        assert pub.dropped == 1
+        assert q.get_nowait()["unit"] == "u1"
+
+
+class TestWorkerTable:
+    __test__ = True
+
+    def _table(self, stall_after_s=10.0):
+        clock = FakeClock()
+        return WorkerTable(stall_after_s=stall_after_s, clock=clock), clock
+
+    def test_rejects_nonpositive_stall_budget(self):
+        with pytest.raises(ValueError):
+            WorkerTable(stall_after_s=0.0)
+
+    def test_start_finish_builds_timeline(self):
+        table, clock = self._table()
+        table.observe(_heartbeat(phase="start", t=1000.0))
+        row = table.observe(_heartbeat(
+            phase="finish", t=1002.5, units_done=1, wall_s=2.5))
+        assert row.state == "idle"
+        assert row.units_done == 1
+        assert row.open_interval is None
+        assert row.timeline == [{
+            "experiment": "fig04", "unit": "scan-0", "seq": 0,
+            "t_start": 1000.0, "t_end": 1002.5, "wall_s": 2.5,
+        }]
+
+    def test_heartbeat_stall_recovery_cycle(self):
+        """The satellite scenario: heartbeat -> stall -> recovery."""
+        table, clock = self._table(stall_after_s=5.0)
+        table.observe(_heartbeat(phase="start"))
+        row = table.workers["w0"]
+        assert row.state == "running"
+
+        # Within budget: no stall.
+        clock.advance(4.0)
+        assert table.scan() == []
+        assert row.state == "running"
+
+        # Budget exceeded: newly stalled, reported exactly once.
+        clock.advance(2.0)
+        assert table.scan() == ["w0"]
+        assert row.state == "stalled"
+        assert row.stalls == 1
+        assert table.scan() == []  # already stalled: not "newly"
+
+        # Any heartbeat recovers the worker.
+        table.observe(_heartbeat(phase="ping", unit=None))
+        assert row.state == "running"  # unit still open
+        assert row.recoveries == 1
+        assert table.scan() == []
+
+    def test_idle_workers_never_stall(self):
+        table, clock = self._table(stall_after_s=1.0)
+        table.observe(_heartbeat(phase="start", t=1000.0))
+        table.observe(_heartbeat(phase="finish", t=1001.0, units_done=1))
+        clock.advance(60.0)
+        assert table.scan() == []
+        assert table.workers["w0"].state == "idle"
+
+    def test_mark_lost_by_pid_and_label(self):
+        table, _clock = self._table()
+        table.observe(_heartbeat(worker="w0"))
+        table.observe(_heartbeat(worker="w1", pid=9999))
+        assert [r.label for r in table.mark_lost(pid=4711)] == ["w0"]
+        assert [r.label for r in table.mark_lost(label="w1")] == ["w1"]
+        assert table.mark_lost(label="w1") == []  # already lost
+        assert table.workers["w0"].state == "lost"
+
+    def test_in_flight_and_rss_peak(self):
+        table, _clock = self._table()
+        table.observe(_heartbeat(worker="w0", rss_bytes=80 << 20))
+        table.observe(_heartbeat(
+            worker="w0", phase="ping", rss_bytes=60 << 20))
+        table.observe(_heartbeat(
+            worker="w1", phase="finish", units_done=1))
+        assert [r.label for r in table.in_flight()] == ["w0"]
+        assert table.workers["w0"].rss_peak_bytes == 80 << 20
+        assert table.workers["w0"].rss_bytes == 60 << 20
+        assert table.units_done == 1
+
+    def test_timeline_is_bounded(self):
+        table, _clock = self._table()
+        for i in range(TIMELINE_LIMIT + 25):
+            table.observe(_heartbeat(phase="start", unit=f"u{i}", t=float(i)))
+            table.observe(_heartbeat(
+                phase="finish", unit=f"u{i}", t=float(i), units_done=i + 1))
+        timeline = table.workers["w0"].timeline
+        assert len(timeline) == TIMELINE_LIMIT
+        assert timeline[-1]["unit"] == f"u{TIMELINE_LIMIT + 24}"
+
+    def test_render_rows_and_to_dict(self):
+        table, clock = self._table()
+        table.observe(_heartbeat(rss_bytes=64 << 20))
+        lines = table.render_rows()
+        assert len(lines) == 1
+        assert "w0: fig04/scan-0" in lines[0]
+        assert "rss 64MB" in lines[0]
+        assert "hb 0s ago" in lines[0]
+        data = table.to_dict()
+        assert data["messages"] == 1
+        (row,) = data["workers"]
+        assert row["label"] == "w0"
+        # The open interval is visible in the exported timeline.
+        assert row["timeline"][-1]["t_end"] is None
+
+    def test_stalled_row_renders_flag(self):
+        table, clock = self._table(stall_after_s=1.0)
+        table.observe(_heartbeat())
+        clock.advance(5.0)
+        table.scan()
+        (line,) = table.render_rows()
+        assert "STALLED fig04/scan-0" in line
+
+
+class TestTelemetryBus:
+    __test__ = True
+
+    def _bus(self, **kwargs):
+        clock = FakeClock()
+        return TelemetryBus(clock=clock, **kwargs), clock
+
+    def test_publisher_roundtrip_through_real_queue(self):
+        bus, _clock = self._bus()
+        try:
+            pub = bus.publisher("w0")
+            pub.heartbeat("start", experiment="fig04", unit="scan-1", seq=1)
+            pub.heartbeat("finish", experiment="fig04", unit="scan-1",
+                          seq=1, wall_s=0.5)
+            # mp.Queue hands messages to a feeder thread; poll briefly.
+            drained, deadline = 0, 200
+            while drained < 2 and deadline:
+                drained += bus.drain(scan=False)
+                time.sleep(0.005)
+                deadline -= 1
+            assert drained == 2
+            row = bus.table.workers["w0"]
+            assert row.units_done == 1
+            assert row.timeline[0]["unit"] == "scan-1"
+        finally:
+            bus.close()
+
+    def test_drain_forwards_to_sink_and_records_events(self):
+        class ListSink:
+            def __init__(self):
+                self.records = []
+
+            def emit(self, record):
+                self.records.append(record)
+
+        bus, _clock = self._bus()
+        try:
+            sink = ListSink()
+            bus.queue.put({"kind": "heartbeat", "worker": "w0",
+                           "phase": "start", "t": 1.0})
+            bus.queue.put({"kind": "weird", "payload": 1})
+            drained, deadline = 0, 200
+            while drained < 2 and deadline:
+                drained += bus.drain(sink=sink, scan=False)
+                time.sleep(0.005)
+                deadline -= 1
+            assert drained == 2
+            assert len(sink.records) == 2
+            # Non-heartbeat messages land in the event log, not the table.
+            assert bus.events[-1]["kind"] == "weird"
+            assert list(bus.table.workers) == ["w0"]
+        finally:
+            bus.close()
+
+    def test_record_event_is_bounded(self):
+        bus, _clock = self._bus()
+        try:
+            for i in range(EVENT_LIMIT + 10):
+                bus.record_event("retry", unit=f"u{i}")
+            assert len(bus.events) == EVENT_LIMIT
+            assert bus.events[-1]["unit"] == f"u{EVENT_LIMIT + 9}"
+        finally:
+            bus.close()
+
+    def test_to_dict_shape(self):
+        bus, _clock = self._bus()
+        try:
+            bus.record_event("timeout", units=["fig04/scan-0"])
+            data = bus.to_dict()
+            assert set(data) >= {"stall_after_s", "messages", "workers",
+                                 "events", "drained"}
+            assert data["events"][0]["kind"] == "timeout"
+        finally:
+            bus.close()
+
+    def test_close_is_idempotent_and_drains(self):
+        bus, _clock = self._bus()
+        pub = bus.publisher("w0")
+        pub.heartbeat("start", unit="u0")
+        deadline = 200
+        while bus.table.messages < 1 and deadline:
+            bus.drain(scan=False)
+            time.sleep(0.005)
+            deadline -= 1
+        bus.close()
+        bus.close()
+        assert bus.table.messages == 1

@@ -241,3 +241,63 @@ class TestCli:
 
     def test_default_threshold_is_ten_percent(self):
         assert DEFAULT_THRESHOLD == 0.10
+
+
+class TestObservabilityMetrics:
+    """PR 7 additions: RSS / profiler metrics in the gate."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("profile.rss_peak_bytes", "lower"),
+        ("workers.rss_peak_bytes", "lower"),
+        ("profile.attributed_fraction", "higher"),  # beats "fraction"
+        ("profile.sample_count", None),  # informational only
+        ("profile.wall_s", "lower"),
+    ])
+    def test_new_direction_tokens(self, name, expected):
+        assert classify_direction(name) == expected
+
+    def test_rss_gets_wall_clock_noise_floor(self):
+        """RSS swings with allocator/page-cache behavior: a 20% bump
+        must not gate under the default 10% threshold."""
+        old = {"profile.rss_peak_bytes": 100e6}
+        new = {"profile.rss_peak_bytes": 120e6}
+        result = compare_metrics(old, new)
+        (delta,) = result.deltas
+        assert delta.threshold == WALL_CLOCK_THRESHOLD
+        assert delta.verdict == "ok"
+        worse = compare_metrics(old, {"profile.rss_peak_bytes": 140e6})
+        assert worse.deltas[0].verdict == "regression"
+
+    def test_profile_and_telemetry_extracted_from_manifest(self):
+        data = _manifest_dict()
+        data["profile"] = {
+            "interval_s": 0.005, "wall_s": 2.0, "sample_count": 400,
+            "attributed_fraction": 0.9, "rss_peak_bytes": 90e6,
+            "stacks": {"run": 400},
+        }
+        data["workers"] = {
+            "jobs": 2, "stats": {},
+            "telemetry": {"workers": [
+                {"label": "w0", "rss_peak_bytes": 70e6},
+                {"label": "w1", "rss_peak_bytes": 85e6},
+            ]},
+        }
+        metrics = extract_metrics(data)
+        assert metrics["profile.sample_count"] == 400
+        assert metrics["profile.attributed_fraction"] == 0.9
+        assert metrics["profile.rss_peak_bytes"] == 90e6
+        assert metrics["workers.rss_peak_bytes"] == 85e6  # max of fleet
+        # The stacks dict itself must not leak in as metrics.
+        assert not any(k.startswith("profile.stacks") for k in metrics)
+
+    def test_attribution_drop_gates(self):
+        old = {"profile.attributed_fraction": 0.95}
+        new = {"profile.attributed_fraction": 0.60}
+        result = compare_metrics(old, new)
+        assert result.deltas[0].verdict == "regression"
+
+    def test_sample_count_change_is_informational(self):
+        result = compare_metrics({"profile.sample_count": 100.0},
+                                 {"profile.sample_count": 900.0})
+        assert result.deltas[0].verdict == "info"
+        assert result.ok()

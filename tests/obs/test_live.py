@@ -135,3 +135,114 @@ class TestLiveReporter:
         clock.advance(1.0)
         live.emit(_rec("run_started", experiments=["fig06"]))
         assert "[live]" in capsys.readouterr().err
+
+
+class TestZeroExperiments:
+    __test__ = True
+
+    def test_final_line_shows_zero_of_zero(self):
+        """A run that matched no experiments still closes with an
+        explicit "experiments 0/0" so the operator sees the run was
+        empty rather than silent."""
+        live, aggregator, stream, clock = _reporter(interval_s=0.0)
+        record = _rec("run_started", experiments=[])
+        aggregator.emit(record)
+        live.emit(record)
+        clock.advance(1.0)
+        live.close()
+        final = stream.getvalue().splitlines()[-1]
+        assert "experiments 0/0" in final
+        assert "eta" not in final
+
+    def test_missing_experiment_list_stays_unknown(self):
+        live, aggregator, stream, clock = _reporter(interval_s=0.0)
+        record = _rec("run_started")
+        aggregator.emit(record)
+        live.emit(record)
+        clock.advance(1.0)
+        live.close()
+        assert "experiments" not in stream.getvalue()
+
+
+class TestTick:
+    __test__ = True
+
+    def test_tick_repaints_without_a_record(self):
+        live, aggregator, stream, clock = _reporter(interval_s=1.0)
+        live.tick()
+        assert live.reports_written == 0  # throttled
+        clock.advance(1.5)
+        live.tick()
+        assert live.reports_written == 1
+        assert "[live]" in stream.getvalue()
+
+
+class TestWidthHandling:
+    __test__ = True
+
+    def test_non_tty_stream_is_never_clipped(self):
+        """Pipes, CI redirects and test buffers get full lines; only a
+        real terminal is clipped to its width."""
+        live, aggregator, stream, clock = _reporter(interval_s=0.0)
+        clock.advance(1.0)
+        record = _rec(
+            "run_started",
+            experiments=[f"fig{i:02d}" for i in range(40)],
+        )
+        aggregator.emit(record)
+        live.emit(record)
+        line = stream.getvalue().splitlines()[0]
+        assert "experiments 0/40" in line  # nothing truncated
+
+    def test_tty_clips_to_terminal_width(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+            def fileno(self):
+                raise ValueError("no real fd")  # -> FALLBACK_COLUMNS
+
+        from repro.obs.live import FALLBACK_COLUMNS
+
+        clock = FakeClock()
+        stream = FakeTty()
+        aggregator = AggregatingSink()
+        live = LiveReporter(aggregator, stream=stream, interval_s=0.0,
+                            clock=clock)
+        clock.advance(1.0)
+        record = _rec(
+            "run_started",
+            experiments=[f"fig{i:02d}" for i in range(40)],
+        )
+        aggregator.emit(record)
+        live.emit(record)
+        for line in stream.getvalue().splitlines():
+            assert len(line) <= FALLBACK_COLUMNS
+
+
+class TestBusRows:
+    __test__ = True
+
+    def test_repaint_appends_worker_rows(self):
+        from repro.obs.bus import TelemetryBus
+
+        clock = FakeClock()
+        stream = io.StringIO()
+        aggregator = AggregatingSink()
+        bus = TelemetryBus(clock=clock)
+        try:
+            bus.table.observe({
+                "kind": "heartbeat", "worker": "worker-g1-1", "pid": 1,
+                "phase": "start", "experiment": "fig04", "unit": "scan-0",
+                "seq": 0, "units_done": 0, "rss_bytes": 64 << 20,
+                "t": 1000.0,
+            })
+            live = LiveReporter(aggregator, stream=stream, interval_s=0.0,
+                                clock=clock, bus=bus)
+            clock.advance(1.0)
+            live.tick()
+            lines = stream.getvalue().splitlines()
+            assert lines[0].startswith("[live]")
+            assert "worker-g1-1: fig04/scan-0" in lines[1]
+        finally:
+            bus.close()

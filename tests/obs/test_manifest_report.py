@@ -115,3 +115,72 @@ class TestReportCli:
 
         with pytest.raises(TraceSchemaError):
             report_main([str(path)])
+
+
+class TestProfileWorkersRoundTrip:
+    """New manifest fields: "profile" and bus telemetry under "workers"."""
+
+    def _manifest(self):
+        manifest = RunManifest.start(["fig15"], seed=7, quick=True)
+        manifest.profile = {
+            "interval_s": 0.005, "wall_s": 3.0, "sample_count": 600,
+            "attributed_fraction": 0.95, "rss_peak_bytes": 96 << 20,
+            "stacks": {"run;fig15;sim.run": 570, "run": 30},
+        }
+        manifest.workers = {
+            "jobs": 2, "start_method": "fork",
+            "stats": {"executed": 8, "retried": 0, "workers_lost": 0},
+            "telemetry": {
+                "stall_after_s": 10.0, "messages": 16, "drained": 16,
+                "events": [],
+                "workers": [{
+                    "label": "worker-g1-1", "pid": 11, "state": "idle",
+                    "experiment": "fig15", "unit": "u3", "units_done": 4,
+                    "heartbeats": 8, "stalls": 1, "recoveries": 1,
+                    "rss_peak_bytes": 80 << 20, "first_t": 1.0,
+                    "last_t": 9.0, "timeline": [], "counters": {},
+                }],
+            },
+        }
+        return manifest
+
+    def test_to_dict_from_dict_round_trip(self):
+        manifest = self._manifest()
+        rebuilt = RunManifest.from_dict(manifest.to_dict())
+        assert rebuilt.profile == manifest.profile
+        assert rebuilt.workers == manifest.workers
+        assert rebuilt.to_dict() == manifest.to_dict()
+
+    def test_from_dict_tolerates_pre_profile_manifests(self):
+        data = self._manifest().to_dict()
+        del data["profile"]
+        del data["workers"]
+        rebuilt = RunManifest.from_dict(data)
+        assert rebuilt.profile is None
+        assert rebuilt.workers is None
+
+    def test_from_dict_rejects_wrong_schema(self):
+        data = self._manifest().to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError):
+            RunManifest.from_dict(data)
+
+    def test_file_round_trip(self, tmp_path):
+        manifest = self._manifest()
+        path = str(tmp_path / "m.json")
+        manifest.write(path)
+        loaded = load_manifest(path)
+        assert loaded["profile"]["sample_count"] == 600
+        assert loaded["workers"]["telemetry"]["workers"][0]["stalls"] == 1
+
+    def test_report_renders_profile_and_workers(self, tmp_path, capsys):
+        path = str(tmp_path / "m.json")
+        self._manifest().write(path)
+        assert report_main(["--manifest", path]) == 0
+        out = capsys.readouterr().out
+        assert "600 samples" in out
+        assert "95.0% attributed" in out
+        assert "run;fig15;sim.run" in out
+        assert "workers: jobs 2 (fork)" in out
+        assert "worker-g1-1" in out
+        assert "workers_lost 0" in out

@@ -186,3 +186,75 @@ class TestWorkerObs:
         assert markers.count("unit_started") == 4
         assert markers.count("unit_finished") == 4
         assert discover_metric_shards(metrics)
+
+
+class TestTelemetryBus:
+    def test_bus_collects_heartbeats_into_topology(self):
+        from repro import obs
+
+        units = _fake_units(4)
+        with ParallelExecutor(2, chunk_size=1) as ex:
+            bus = obs.TelemetryBus(
+                ctx=__import__("multiprocessing").get_context(
+                    ex.start_method)
+            )
+            ex.attach_bus(bus)
+            try:
+                payloads, stats = ex.run_units(units)
+                topo = ex.topology()
+            finally:
+                bus.close()
+        assert payloads == _expected_payloads(units)
+        telemetry = topo["telemetry"]
+        assert telemetry["drained"] > 0
+        rows = telemetry["workers"]
+        assert sum(r["units_done"] for r in rows) == 4
+        # Each unit leaves a closed interval with its wall time.
+        intervals = [iv for r in rows for iv in r["timeline"]]
+        assert len(intervals) == 4
+        assert all(iv["t_end"] is not None for iv in intervals)
+        assert stats.workers_lost == 0
+
+    def test_attach_bus_after_pool_start_rejected(self):
+        from repro import obs
+
+        units = _fake_units(2)
+        with ParallelExecutor(2, chunk_size=1) as ex:
+            ex.run_units(units)
+            bus = obs.TelemetryBus()
+            try:
+                with pytest.raises(RuntimeError):
+                    ex.attach_bus(bus)
+            finally:
+                bus.close()
+
+    def test_worker_crash_emits_worker_lost(self):
+        from repro import obs
+
+        units = _fake_units(1, crash_away=True, home_pid=os.getpid())
+        sink = obs.ListTraceSink()
+        previous = obs.set_sink(sink)
+        try:
+            with ParallelExecutor(2, max_retries=0, chunk_size=1) as ex:
+                bus = obs.TelemetryBus(
+                    ctx=__import__("multiprocessing").get_context(
+                        ex.start_method)
+                )
+                ex.attach_bus(bus)
+                try:
+                    payloads, stats = ex.run_units(units)
+                finally:
+                    bus.close()
+        finally:
+            obs.set_sink(previous)
+        assert payloads == _expected_payloads(units)  # degraded serially
+        assert stats.workers_lost >= 1
+        lost = [r for r in sink.records if r["kind"] == "worker_lost"]
+        assert lost, "expected a worker_lost trace event"
+        # The event names the last-known unit and its fingerprint (the
+        # fingerprint may be None when the bus had no open interval).
+        assert lost[0]["unit"] == "u0"
+        assert lost[0]["experiment"] == "fake"
+        assert "fingerprint" in lost[0]
+        lost_events = [e for e in bus.events if e["kind"] == "worker_lost"]
+        assert lost_events
