@@ -278,6 +278,7 @@ def _simulate_refresh_reduction_loop(
     test_ms = config.test_duration_ms
     cost_ns = test_cost_ns(config.test_mode)
     emit_trace = obs.trace_active()
+    emit_forensics = emit_trace and obs.forensics_active()
     # (t_ms, order, kind, fields); order ranks pril_quantum events ahead
     # of the tests they predict at the same boundary instant.
     trace_events: List[tuple] = []
@@ -326,6 +327,15 @@ def _simulate_refresh_reduction_loop(
                     predicted_per_quantum.get(q_start, 0) + 1
                 )
                 p = int(page)
+                if emit_forensics:
+                    # The grant and its write-interval evidence: the one
+                    # write that qualified the page, and how long the
+                    # page actually stayed idle (the trace's future).
+                    trace_events.append(
+                        (float(boundary), 1, "pril_grant",
+                         {"page": p, "quantum": q_start,
+                          "write_ms": float(times[idx]),
+                          "next_write_ms": float(idle_until)}))
                 trace_events.append(
                     (float(boundary), 1, "test_started", {"page": p}))
                 trace_events.append((float(boundary), 1, "ref_transition",
@@ -539,10 +549,16 @@ class MemconController:
         test_end = boundary_ms + cfg.test_duration_ms
         self.tests_total += 1
         self._c_started.inc()
+        next_write = self._next_write_after(page, boundary_ms, trace)
         if obs.trace_active():
+            if obs.forensics_active():
+                obs.emit(
+                    "pril_grant", t_ms=boundary_ms, page=page,
+                    quantum=int(round(boundary_ms / cfg.quantum_ms)),
+                    next_write_ms=next_write,
+                )
             obs.emit("test_started", t_ms=boundary_ms, page=page)
         # Classify the prediction against the trace's future for reporting.
-        next_write = self._next_write_after(page, boundary_ms, trace)
         if next_write - boundary_ms > cfg.long_interval_ms:
             self.tests_correct += 1
         else:

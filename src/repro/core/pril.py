@@ -129,6 +129,13 @@ class PrilPredictor:
             if page in self._current.buffer:
                 self._current.buffer.discard(page)
                 stats.repeat_write_drops += 1
+                if obs.trace_active() and obs.forensics_active():
+                    obs.emit(
+                        "pril_revoke",
+                        page=page,
+                        reason="repeat_write",
+                        quantum=self._quantum_index,
+                    )
         else:
             # Step 1: first occurrence this quantum.
             self._current.written.add(page)
@@ -139,6 +146,13 @@ class PrilPredictor:
             ):
                 stats.buffer_overflow_drops += 1
                 self._c_overflow_drops.inc()
+                if obs.trace_active() and obs.forensics_active():
+                    obs.emit(
+                        "pril_revoke",
+                        page=page,
+                        reason="buffer_overflow",
+                        quantum=self._quantum_index,
+                    )
             else:
                 self._current.buffer.add(page)
 
@@ -147,6 +161,13 @@ class PrilPredictor:
         if page in self._previous.buffer:
             self._previous.buffer.discard(page)
             stats.cross_quantum_drops += 1
+            if obs.trace_active() and obs.forensics_active():
+                obs.emit(
+                    "pril_revoke",
+                    page=page,
+                    reason="cross_quantum_write",
+                    quantum=self._quantum_index,
+                )
 
     def end_quantum(self) -> List[int]:
         """Close the current quantum (Figure 13, right half).

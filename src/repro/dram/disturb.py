@@ -51,6 +51,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .faults import (
     _EMPTY_COLUMNS,
     _EMPTY_THRESHOLDS,
@@ -383,7 +384,19 @@ class DisturbMap:
                 value = bits[row_pos, safe]
             charged = np.where(true_cell, value == 1, value == 0)
             hit &= valid & charged
-        return rows[row_pos[hit]], cols[hit]
+        flip_rows = rows[row_pos[hit]]
+        if obs.forensics_active() and obs.trace_active():
+            over = np.unique(flip_rows)
+            obs.emit(
+                "dose_crossing",
+                interval_ms=float(refresh_interval_ms),
+                rows_over=int(len(over)),
+                max_pressure=(
+                    float(pressures.max()) if pressures.size else 0.0
+                ),
+                rows_sample=[int(r) for r in over[:64]],
+            )
+        return flip_rows, cols[hit]
 
     def rows_flip(
         self,

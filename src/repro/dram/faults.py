@@ -47,10 +47,13 @@ reference oracle the vectorised paths are property-tested against.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .. import obs
 
 # ----------------------------------------------------------------------
 # Counter-based RNG substrate (SplitMix64 sub-streams)
@@ -608,12 +611,50 @@ class FaultMap:
         rows = np.asarray(rows, dtype=np.int64)
         self._check_rows(rows)
         row_pos, cols, thresholds, true_cell = self._gather(rows)
+        bits = np.asarray(physical_bits)
         fails = self._evaluate(
             cols, thresholds, true_cell,
-            np.asarray(physical_bits), row_pos, refresh_interval_ms,
+            bits, row_pos, refresh_interval_ms,
             disturb_stress,
         )
-        return np.bincount(row_pos[fails], minlength=len(rows)) > 0
+        result = np.bincount(row_pos[fails], minlength=len(rows)) > 0
+        if obs.forensics_active() and obs.trace_active():
+            self._emit_predicate_eval(
+                rows, bits, refresh_interval_ms, disturb_stress, result
+            )
+        return result
+
+    @staticmethod
+    def _emit_predicate_eval(
+        rows: np.ndarray,
+        bits: np.ndarray,
+        refresh_interval_ms: float,
+        disturb_stress: Union[float, np.ndarray, None],
+        result: np.ndarray,
+    ) -> None:
+        """Ledger record for one batch predicate evaluation (forensics).
+
+        Captures the evaluation's inputs compactly: the CRC of the exact
+        content snapshot (dtype-tagged, so byte-equal content hashes
+        equal), the stress summary, and up to 64 failing rows by id.
+        """
+        if disturb_stress is None:
+            stress_max = 0.0
+        else:
+            stress_arr = np.asarray(disturb_stress, dtype=np.float64)
+            stress_max = float(stress_arr.max()) if stress_arr.size else 0.0
+        crc = zlib.crc32(bits.dtype.char.encode())
+        crc = zlib.crc32(np.ascontiguousarray(bits).tobytes(), crc)
+        failing = rows[result]
+        obs.emit(
+            "predicate_eval",
+            interval_ms=float(refresh_interval_ms),
+            rows=int(len(rows)),
+            failed=int(len(failing)),
+            stress_max=stress_max,
+            content_crc=int(crc),
+            rows_failed_sample=[int(r) for r in failing[:64]],
+        )
 
     def failing_cells_batch(
         self,

@@ -29,6 +29,7 @@ bit-identical to the serial one by construction.
 
 from __future__ import annotations
 
+import zlib
 from functools import lru_cache
 from typing import Any, Dict, List, Tuple
 
@@ -39,7 +40,7 @@ from ..dram.disturb import DisturbMap, DisturbModelConfig
 from ..dram.faults import FaultMap
 from ..dram.scramble import VendorMapping, make_vendor_mapping
 from ..mc.controller import RefreshSettings, TestTrafficSettings
-from ..parallel.units import WorkUnit
+from ..parallel.units import WorkUnit, unit_context
 from ..sim.system import SystemConfig, SystemSimulator
 from ..traces.phases import generate_content_trace
 from ..traces.spec import get_benchmark
@@ -166,12 +167,13 @@ def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any
     )
 
     # Write-triggered content test, with and without the disturbance term.
+    stress = disturb_map.aligned_stress(victims, victims, pressure)
     content_only = fault_map.rows_fail(
         victims, victim_content, TEST_INTERVAL_MS,
     )
     composed = fault_map.rows_fail(
         victims, victim_content, TEST_INTERVAL_MS,
-        disturb_stress=disturb_map.aligned_stress(victims, victims, pressure),
+        disturb_stress=stress,
     )
 
     rows_flipped = int(flipped.sum())
@@ -187,6 +189,12 @@ def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any
             max_pressure=max_pressure,
             benchmark=name,
         )
+        if obs.trace_active() and obs.forensics_active():
+            _emit_row_forensics(
+                unit, name, victims, pressure, stress, victim_content,
+                flipped, content_only, composed, fault_map, n_image_rows,
+                quick, seed, window_ns,
+            )
     return {
         "benchmark": name,
         "activations": int(round(float(weights.sum()))),
@@ -197,6 +205,79 @@ def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any
         "caught_composed": caught_composed,
         "max_pressure": max_pressure,
     }
+
+
+def _emit_row_forensics(
+    unit: WorkUnit,
+    benchmark: str,
+    victims: np.ndarray,
+    pressure: np.ndarray,
+    stress: np.ndarray,
+    victim_content: np.ndarray,
+    flipped: np.ndarray,
+    content_only: np.ndarray,
+    composed: np.ndarray,
+    fault_map: FaultMap,
+    n_image_rows: int,
+    quick: bool,
+    seed: int,
+    window_ns: float,
+) -> None:
+    """One ``forensic_row`` attribution record per flagged victim row.
+
+    ``content_only`` already *is* the disturbance-off counterfactual and
+    ``composed`` the factual predicate, so the verdict only needs one
+    extra evaluation — the inverted-content run — over the flagged
+    subset. Each record carries the full reconstruction coordinates
+    (seed, quick, benchmark, content row, stress, intervals), enough for
+    ``repro.obs.why`` to replay the row offline without a simulator.
+    """
+    interesting = flipped | content_only | composed
+    idx = np.flatnonzero(interesting)
+    if not len(idx):
+        return
+    subset = victim_content[idx]
+    if subset.dtype == np.bool_:
+        alt = ~subset
+    else:
+        alt = (1 - subset).astype(subset.dtype)
+    alt_fails = fault_map.rows_fail(
+        victims[idx], alt, TEST_INTERVAL_MS, disturb_stress=stress[idx],
+    )
+    t_ms = window_ns * 1e-6
+    dtype_tag = victim_content.dtype.char.encode()
+    for j, i in enumerate(idx):
+        verdict = obs.classify_verdict(
+            bool(composed[i]),
+            bool(content_only[i]),
+            bool(alt_fails[j]),
+            flipped=bool(flipped[i]),
+        )
+        crc = zlib.crc32(dtype_tag)
+        crc = zlib.crc32(
+            np.ascontiguousarray(victim_content[i]).tobytes(), crc
+        )
+        obs.emit(
+            "forensic_row",
+            t_ms=t_ms,
+            row=int(victims[i]),
+            verdict=verdict,
+            benchmark=benchmark,
+            flipped=bool(flipped[i]),
+            content_only=bool(content_only[i]),
+            composed=bool(composed[i]),
+            alt_content_fails=bool(alt_fails[j]),
+            stress=float(stress[i]),
+            pressure=float(pressure[i]),
+            interval_ms=REFRESH_INTERVAL_MS,
+            test_interval_ms=TEST_INTERVAL_MS,
+            content_row=int(victims[i] % n_image_rows),
+            image_rows=n_image_rows,
+            content_crc=int(crc),
+            quick=bool(quick),
+            seed=int(seed),
+            **unit_context(unit),
+        )
 
 
 def merge_units(

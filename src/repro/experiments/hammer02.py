@@ -34,7 +34,7 @@ from .. import obs
 from ..dram.disturb import DisturbMap, DisturbModelConfig
 from ..mc.controller import RefreshSettings, TestTrafficSettings
 from ..mc.rowrefresh import TrrSettings
-from ..parallel.units import WorkUnit
+from ..parallel.units import WorkUnit, unit_context
 from ..sim.system import SystemConfig, SystemSimulator
 from ..traces.workloads import WORKLOADS, as_benchmark
 from .common import ExperimentResult, plain
@@ -146,6 +146,22 @@ def run_unit(unit: WorkUnit, quick: bool = True, seed: int = 1) -> Dict[str, Any
             refresh=unit.params["refresh"],
             trr=unit.params["trr"],
         )
+        if obs.trace_active() and obs.forensics_active():
+            # Grid-cell provenance: which mitigation knobs were active
+            # when the dose crossings and TRR refreshes above happened.
+            obs.emit(
+                "mitigation_cell",
+                t_ms=window_ns * 1e-6,
+                refresh=unit.params["refresh"],
+                trr=unit.params["trr"],
+                interval_ms=interval_ms,
+                flips=flips,
+                rows_flipped=rows_flipped,
+                trr_triggers=trr_triggers,
+                trr_refreshes=trr_refreshes,
+                max_pressure=max_pressure,
+                **unit_context(unit),
+            )
     return {"row": plain({
         "refresh": unit.params["refresh"],
         "trr": unit.params["trr"],

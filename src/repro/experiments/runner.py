@@ -35,6 +35,15 @@ re-executing finished work. Result tables are byte-identical to the
 serial run for every N; worker trace shards and metrics snapshots are
 merged back into the single ``--trace``/``--metrics`` files after the
 run, and the manifest records the worker topology under ``"workers"``.
+
+``--forensics`` additionally records the decision-provenance ledger
+(:mod:`repro.obs.forensics`): PRIL LO-REF grants/revocations with their
+write-interval evidence, the MEMCON test lifecycle, TRR neighbour
+refreshes, disturbance dose crossings and fault-predicate evaluations.
+The ledger is extracted to ``<trace stem>.forensics.jsonl`` after the
+run (``--forensics-out`` overrides), its census lands in the manifest
+under ``"forensics"``, and ``python -m repro.obs.why --row R`` answers
+per-row causal queries against it.
 """
 
 from __future__ import annotations
@@ -245,6 +254,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="aggregation window for the manifest's time-series rollups "
         "(default %(default)s, the MEMCON quantum)",
     )
+    parser.add_argument(
+        "--forensics", action="store_true",
+        help="record the decision-provenance ledger (PRIL grants/"
+        "revocations, MEMCON test evidence, TRR refreshes, dose "
+        "crossings, predicate evaluations) and extract it next to the "
+        "trace; implies --trace (a default path is derived when absent)",
+    )
+    parser.add_argument(
+        "--forensics-out", metavar="FILE", default=None,
+        help="ledger location (default: <trace stem>.forensics.jsonl)",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v", "--verbose", action="store_true",
@@ -268,6 +288,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiments {unknown}; available: {list(EXPERIMENTS)}"
         )
 
+    if args.forensics and not args.trace:
+        # The ledger rides the event trace, so forensics implies one.
+        for anchor in (args.out, args.metrics, args.manifest):
+            if anchor:
+                args.trace = os.path.splitext(anchor)[0] + ".trace.jsonl"
+                break
+        else:
+            args.trace = "results.trace.jsonl"
+        logger.info("--forensics: tracing to %s", args.trace)
+
     parallel = args.jobs > 1
     journaling = parallel or args.resume or bool(args.checkpoint)
 
@@ -284,7 +314,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config={"out": args.out, "trace": args.trace, "metrics": args.metrics,
                 "live": args.live, "window_ms": args.window_ms,
                 "jobs": args.jobs, "resume": args.resume,
-                "profile": profiling, "profile_mem": args.profile_mem},
+                "profile": profiling, "profile_mem": args.profile_mem,
+                "forensics": args.forensics},
     )
     manifest.trace_path = args.trace
 
@@ -313,6 +344,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         sink = None
     previous_sink = obs.set_sink(sink) if sink is not None else None
+    previous_forensics = (
+        obs.set_forensics(True) if args.forensics else None
+    )
 
     executor: Optional[ParallelExecutor] = None
     journal: Optional[CheckpointJournal] = None
@@ -333,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             obs_cfg=WorkerObsConfig(
                 trace_base=args.trace if parallel else None,
                 metrics_base=args.metrics if parallel else None,
+                forensics=args.forensics,
             ),
             unit_timeout_s=args.unit_timeout,
             max_retries=args.retries,
@@ -432,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if profiler is not None:
             profiler.stop()
+        if previous_forensics is not None:
+            obs.set_forensics(previous_forensics)
         if sink is not None:
             obs.set_sink(previous_sink)
             sink.close()
@@ -479,6 +516,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         manifest.timeseries = obs.aggregate_trace(
             obs.read_trace(args.trace, validate=False),
             window_ms=args.window_ms,
+        )
+
+    if args.forensics and args.trace:
+        # Extract the ledger from the (merged) trace: for sharded runs
+        # this happens after the splice, so serial and --jobs N ledgers
+        # are byte-identical whenever the streams are.
+        ledger_path = (
+            args.forensics_out
+            or os.path.splitext(args.trace)[0] + ".forensics.jsonl"
+        )
+        _ensure_parent(ledger_path)
+        manifest.forensics = obs.extract_ledger(args.trace, ledger_path)
+        logger.info(
+            "forensic ledger: %d records (%d rows) written to %s",
+            manifest.forensics["records"], manifest.forensics["rows"],
+            ledger_path,
         )
 
     if parallel and args.metrics:

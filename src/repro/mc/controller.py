@@ -311,7 +311,27 @@ class MemoryController:
                 )
                 request.completion_ns = done
                 if self.trr is not None:
-                    self.trr.observe(bank, request.row, now_ns)
+                    fired = self.trr.observe(bank, request.row, now_ns)
+                    if (
+                        fired
+                        and obs.trace_active()
+                        and obs.forensics_active()
+                    ):
+                        # Row id uses the module-flat convention of
+                        # activation snapshots so ledger rows line up
+                        # with the disturbance model's victims.
+                        flat = (
+                            self.channel * len(self.banks) + request.bank
+                        ) * self.rows_per_bank + request.row
+                        obs.emit(
+                            "trr_refresh",
+                            t_ns=now_ns,
+                            bank=request.bank,
+                            row=flat,
+                            bank_row=request.row,
+                            channel=self.channel,
+                            neighbors=self.trr.last_neighbors,
+                        )
                 self._account(request)
                 return request
         return None

@@ -167,6 +167,8 @@ class TargetRowRefresh:
         self.refreshes_issued = 0
         self.triggers = 0
         self.busy_ns = 0.0
+        #: Neighbours refreshed by the most recent trigger (forensics).
+        self.last_neighbors = 0
 
     @property
     def row_cycle_ns(self) -> float:
@@ -199,5 +201,6 @@ class TargetRowRefresh:
         self.busy_ns += neighbors * self.row_cycle_ns
         self.refreshes_issued += neighbors
         self.triggers += 1
+        self.last_neighbors = neighbors
         log.reset_row(row)
         return True

@@ -33,6 +33,12 @@ Four cooperating pieces, all near-zero-overhead until switched on:
 * **regression gate** (:mod:`.compare`) — ``python -m repro.obs.compare
   OLD NEW`` diffs two manifests or ``BENCH_*.json`` files under
   per-metric noise thresholds and exits non-zero on regression.
+* **failure forensics** (:mod:`.forensics`, :mod:`.why`) — opt-in
+  (``--forensics``) decision-provenance ledger of every causal decision
+  touching a row (PRIL grants/revocations, MEMCON tests, TRR refreshes,
+  dose crossings, predicate evaluations); ``python -m repro.obs.why
+  --row R`` prints a row's causal chain plus a counterfactual replay
+  verdict (content-dependent / disturb-driven / composed / memcon-miss).
 
 ``python -m repro.obs.report TRACE [--manifest FILE] [--timeseries]``
 renders a trace, manifest and rollups into human-readable tables.
@@ -53,6 +59,16 @@ from .compare import (
     MetricDelta,
     compare_files,
     compare_metrics,
+)
+from .forensics import (
+    FORENSIC_KINDS,
+    LEDGER_KINDS,
+    VERDICTS,
+    classify_verdict,
+    extract_ledger,
+    forensics_active,
+    ledger_census,
+    set_forensics,
 )
 from .live import LiveReporter
 from .manifest import (
@@ -105,6 +121,14 @@ __all__ = [
     "MetricDelta",
     "compare_files",
     "compare_metrics",
+    "FORENSIC_KINDS",
+    "LEDGER_KINDS",
+    "VERDICTS",
+    "classify_verdict",
+    "extract_ledger",
+    "forensics_active",
+    "ledger_census",
+    "set_forensics",
     "LiveReporter",
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",

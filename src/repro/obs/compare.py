@@ -32,7 +32,7 @@ import json
 import math
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from .manifest import MANIFEST_SCHEMA_VERSION
 
@@ -96,36 +96,100 @@ def _is_manifest(data: Mapping) -> bool:
     )
 
 
-def extract_metrics(data: Mapping) -> Dict[str, float]:
-    """Flatten a manifest or BENCH-style file into ``name -> value``."""
+def _warn(warnings: Optional[List[str]], message: str) -> None:
+    if warnings is not None:
+        warnings.append(message)
+
+
+def _mapping_of(
+    container: Mapping, key: str, warnings: Optional[List[str]]
+) -> Mapping:
+    """Tolerantly read a sub-mapping: absent or malformed -> no data.
+
+    A manifest produced by an older run (or hand-edited) may miss whole
+    sections or hold junk in them; the gate must degrade to "nothing to
+    compare there", not crash, so the *other* sections still gate.
+    """
+    value = container.get(key)
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        _warn(warnings, f"section {key!r}: expected a mapping, got "
+                        f"{type(value).__name__}; treating as no data")
+        return {}
+    return value
+
+
+def _list_of(
+    container: Mapping, key: str, warnings: Optional[List[str]]
+) -> List[Mapping]:
+    """Tolerantly read a list-of-mappings section (see _mapping_of)."""
+    value = container.get(key)
+    if value is None:
+        return []
+    if isinstance(value, (str, bytes)) or not isinstance(value, Iterable):
+        _warn(warnings, f"section {key!r}: expected a list, got "
+                        f"{type(value).__name__}; treating as no data")
+        return []
+    out: List[Mapping] = []
+    for i, entry in enumerate(value):
+        if isinstance(entry, Mapping):
+            out.append(entry)
+        else:
+            _warn(warnings, f"section {key!r}[{i}]: expected a mapping, "
+                            f"got {type(entry).__name__}; skipping")
+    return out
+
+
+def extract_metrics(
+    data: Mapping, warnings: Optional[List[str]] = None
+) -> Dict[str, float]:
+    """Flatten a manifest or BENCH-style file into ``name -> value``.
+
+    Missing or malformed manifest sections contribute no metrics; when
+    ``warnings`` is given, malformed ones append a note to it instead
+    of raising.
+    """
     if _is_manifest(data):
-        return _metrics_of_manifest(data)
+        return _metrics_of_manifest(data, warnings)
     return _metrics_of_bench(data)
 
 
-def _metrics_of_manifest(data: Mapping) -> Dict[str, float]:
+def _metrics_of_manifest(
+    data: Mapping, warnings: Optional[List[str]] = None
+) -> Dict[str, float]:
     metrics: Dict[str, float] = {}
     if _is_number(data.get("wall_s")):
         metrics["wall_s"] = float(data["wall_s"])
-    for timing in data.get("timings") or []:
-        if _is_number(timing.get("wall_s")):
+    for timing in _list_of(data, "timings", warnings):
+        if _is_number(timing.get("wall_s")) and timing.get("name"):
             metrics[f"timing.{timing['name']}_s"] = float(timing["wall_s"])
-    snapshot = data.get("metrics") or {}
-    for name, value in (snapshot.get("counters") or {}).items():
+    snapshot = _mapping_of(data, "metrics", warnings)
+    for name, value in _mapping_of(snapshot, "counters", warnings).items():
         if _is_number(value):
             metrics[f"counter.{name}"] = float(value)
-    for name, value in (snapshot.get("gauges") or {}).items():
+    for name, value in _mapping_of(snapshot, "gauges", warnings).items():
         if _is_number(value):
             metrics[f"gauge.{name}"] = float(value)
-    profile = data.get("profile") or {}
+    profile = _mapping_of(data, "profile", warnings)
     for field_name in ("sample_count", "attributed_fraction",
                        "rss_peak_bytes", "wall_s"):
         if _is_number(profile.get(field_name)):
             metrics[f"profile.{field_name}"] = float(profile[field_name])
-    telemetry = ((data.get("workers") or {}).get("telemetry") or {})
+    timeseries = _mapping_of(data, "timeseries", warnings)
+    if _is_number(timeseries.get("events_total")):
+        metrics["timeseries.events_total"] = float(
+            timeseries["events_total"]
+        )
+    forensics = _mapping_of(data, "forensics", warnings)
+    for field_name in ("records", "rows"):
+        if _is_number(forensics.get(field_name)):
+            metrics[f"forensics.{field_name}"] = float(forensics[field_name])
+    workers = _mapping_of(data, "workers", warnings)
+    telemetry = _mapping_of(workers, "telemetry", warnings)
     rss_peaks = [
         worker["rss_peak_bytes"]
-        for worker in telemetry.get("workers") or []
+        for worker in _list_of(telemetry, "workers", warnings)
         if _is_number(worker.get("rss_peak_bytes"))
     ]
     if rss_peaks:
@@ -240,16 +304,24 @@ def compare_files(
     new_path: str,
     threshold: float = DEFAULT_THRESHOLD,
     overrides: Optional[Mapping[str, float]] = None,
+    warnings: Optional[List[str]] = None,
 ) -> ComparisonResult:
     """Load, auto-detect, flatten and compare two metric files."""
     with open(old_path, "r", encoding="utf-8") as handle:
         old_data = json.load(handle)
     with open(new_path, "r", encoding="utf-8") as handle:
         new_data = json.load(handle)
-    return compare_metrics(
-        extract_metrics(old_data), extract_metrics(new_data),
+    old_warnings: List[str] = []
+    new_warnings: List[str] = []
+    result = compare_metrics(
+        extract_metrics(old_data, old_warnings),
+        extract_metrics(new_data, new_warnings),
         threshold=threshold, overrides=overrides,
     )
+    if warnings is not None:
+        warnings.extend(f"{old_path}: {w}" for w in old_warnings)
+        warnings.extend(f"{new_path}: {w}" for w in new_warnings)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -343,16 +415,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    warnings: List[str] = []
     try:
         result = compare_files(
             args.old, args.new,
             threshold=args.threshold,
             overrides=dict(args.metric_threshold),
+            warnings=warnings,
         )
     except (OSError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     print(render_comparison(result, verbose=args.verbose))
     if result.ok(strict=args.strict):
         return 0

@@ -16,6 +16,9 @@ perf trajectories) into a single HTML file with inline SVG charts:
 * **worker timeline** — a gantt of per-unit intervals from the
   telemetry bus heartbeats (``workers.telemetry``), with stall/lost
   markers;
+* **failure forensics** — the ledger census a ``--forensics`` run folds
+  into the manifest: verdict histogram, record counts per ledger kind,
+  and a pointer at the why-CLI;
 * **BENCH trajectories** — sparkline small-multiples over the history
   lists in ``BENCH_*.json`` files passed via ``--bench``.
 
@@ -48,7 +51,12 @@ def _esc(value: Any) -> str:
 
 
 def _fmt(value: Any) -> str:
-    """Compact human number for labels."""
+    """Compact human number for labels.
+
+    Falls through to ``str`` for non-numbers, so any interpolation of
+    its result into markup must go through :func:`_esc` — manifests are
+    attacker-ish inputs (a unit named ``<b>x`` must render literally).
+    """
     if value is None:
         return "-"
     if isinstance(value, float):
@@ -60,6 +68,11 @@ def _fmt(value: Any) -> str:
             return f"{value:.2f}".rstrip("0").rstrip(".")
         return f"{value:.3g}"
     return str(value)
+
+
+def _cell(value: Any) -> str:
+    """Escaped compact number: the only safe form inside markup."""
+    return _esc(_fmt(value))
 
 
 # ----------------------------------------------------------------------
@@ -286,7 +299,7 @@ def _stacked_bars(
         tip = ", ".join(
             f"{key} {int(value.get(key, 0))}" for key, _color in segments
         )
-        bar = [f'<g><title>t={_fmt(window.get("t_ms"))}{x_unit}: {_esc(tip)}</title>']
+        bar = [f'<g><title>t={_cell(window.get("t_ms"))}{x_unit}: {_esc(tip)}</title>']
         for key, color in segments:
             v = float(value.get(key, 0))
             if v <= 0:
@@ -321,13 +334,13 @@ def _hbar_chart(items: Sequence[Tuple[str, float]], height_per: int = 22) -> str
             f"{_esc(name)}</text>"
         )
         parts.append(
-            f'<g><title>{_esc(name)}: {_fmt(value)}</title>'
+            f'<g><title>{_esc(name)}: {_cell(value)}</title>'
             f'<rect x="{label_w}" y="{y + 3}" width="{w:.1f}" height="14" '
             f'rx="4" fill="var(--series-1)"/></g>'
         )
         parts.append(
             f'<text class="num" x="{label_w + w + 6:.1f}" y="{y + 14}">'
-            f"{_fmt(value)}</text>"
+            f"{_cell(value)}</text>"
         )
     return _svg("".join(parts), height=height)
 
@@ -397,7 +410,7 @@ def _render_flame(root: _Flame, unit: str, max_depth: int = 8) -> str:
         pct = 100.0 * node.value / total
         cls = f"--flame-{min(depth, 3)}"
         rows.append(
-            f'<g><title>{_esc(node.name)}: {_fmt(node.value)}{unit} '
+            f'<g><title>{_esc(node.name)}: {_cell(node.value)}{_esc(unit)} '
             f"({pct:.1f}%)</title>"
             f'<rect x="{x0:.1f}" y="{y}" width="{max(width - 1.5, 1.0):.1f}" '
             f'height="{row_h}" rx="2" fill="var({cls})"/></g>'
@@ -587,15 +600,15 @@ def _windows_table(windows: Sequence[Mapping[str, Any]], limit: int = 48) -> str
         mc = window.get("mc") or {}
         rows.append(
             "<tr>"
-            f"<td>{_fmt(window.get('t_ms'))}</td>"
-            f"<td>{_fmt(ref.get('lo_fraction'))}</td>"
-            f"<td>{_fmt(ref.get('testing_fraction'))}</td>"
-            f"<td>{_fmt(tests.get('passed'))}</td>"
-            f"<td>{_fmt(tests.get('failed'))}</td>"
-            f"<td>{_fmt(tests.get('aborted'))}</td>"
-            f"<td>{_fmt(mc.get('latency_p50_ns'))}</td>"
-            f"<td>{_fmt(mc.get('latency_p95_ns'))}</td>"
-            f"<td>{_fmt(mc.get('latency_p99_ns'))}</td>"
+            f"<td>{_cell(window.get('t_ms'))}</td>"
+            f"<td>{_cell(ref.get('lo_fraction'))}</td>"
+            f"<td>{_cell(ref.get('testing_fraction'))}</td>"
+            f"<td>{_cell(tests.get('passed'))}</td>"
+            f"<td>{_cell(tests.get('failed'))}</td>"
+            f"<td>{_cell(tests.get('aborted'))}</td>"
+            f"<td>{_cell(mc.get('latency_p50_ns'))}</td>"
+            f"<td>{_cell(mc.get('latency_p95_ns'))}</td>"
+            f"<td>{_cell(mc.get('latency_p99_ns'))}</td>"
             "</tr>"
         )
     more = (
@@ -797,10 +810,10 @@ def _workers_section(manifest: Mapping[str, Any]) -> str:
             "<tr>"
             f"<td>{_esc(r.get('label'))}</td>"
             f"<td>{_esc(r.get('state'))}</td>"
-            f"<td>{_fmt(r.get('units_done'))}</td>"
-            f"<td>{_fmt(r.get('heartbeats'))}</td>"
-            f"<td>{_fmt(r.get('stalls'))}</td>"
-            f"<td>{_fmt((r.get('rss_peak_bytes') or 0) / (1 << 20))} MB</td>"
+            f"<td>{_cell(r.get('units_done'))}</td>"
+            f"<td>{_cell(r.get('heartbeats'))}</td>"
+            f"<td>{_cell(r.get('stalls'))}</td>"
+            f"<td>{_cell((r.get('rss_peak_bytes') or 0) / (1 << 20))} MB</td>"
             "</tr>"
             for r in rows
         )
@@ -816,6 +829,45 @@ def _workers_section(manifest: Mapping[str, Any]) -> str:
             "" if rows else
             " — no bus telemetry (run with --live to record heartbeats)"
         ),
+    )
+
+
+def _forensics_section(manifest: Mapping[str, Any]) -> str:
+    forensics = manifest.get("forensics")
+    if not isinstance(forensics, Mapping):
+        return ""
+    verdicts = forensics.get("verdicts") or {}
+    kinds = forensics.get("kinds") or {}
+    verdict_chart = _hbar_chart(sorted(
+        ((str(k), float(v)) for k, v in verdicts.items()),
+        key=lambda kv: kv[1], reverse=True,
+    )) if isinstance(verdicts, Mapping) else ""
+    table = ""
+    if isinstance(kinds, Mapping) and kinds:
+        head = "<tr><th>ledger kind</th><th>records</th></tr>"
+        body = "".join(
+            f"<tr><td>{_esc(kind)}</td><td>{_cell(count)}</td></tr>"
+            for kind, count in sorted(kinds.items())
+        )
+        table = (
+            "<details><summary>Ledger kinds</summary>"
+            f"<table>{head}{body}</table></details>"
+        )
+    bits = [
+        f"{_fmt(forensics.get('records'))} ledger records across "
+        f"{_fmt(forensics.get('rows'))} rows",
+    ]
+    ledger_path = forensics.get("ledger_path")
+    if ledger_path:
+        bits.append(f"ledger: {ledger_path}")
+    bits.append(
+        "ask `python -m repro.obs.why --row R` for a row's causal chain"
+    )
+    return _section(
+        "Failure forensics",
+        verdict_chart,
+        table,
+        sub=" · ".join(bits),
     )
 
 
@@ -852,6 +904,7 @@ def render_dashboard(
         _timeseries_sections(timeseries),
         _flame_section(manifest),
         _workers_section(manifest),
+        _forensics_section(manifest),
         _bench_section(bench_files or {}),
     ]
     return (

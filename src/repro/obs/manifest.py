@@ -69,6 +69,9 @@ class RunManifest:
     #: Sampled-profiler output (obs/profile.py): collapsed stacks,
     #: sample counts, attribution fraction, optional memory peaks.
     profile: Optional[Dict[str, Any]] = None
+    #: Forensic ledger census (obs/forensics.py): record counts by kind,
+    #: verdict histogram, distinct rows, and the ledger file path.
+    forensics: Optional[Dict[str, Any]] = None
     wall_s: float = 0.0
 
     @classmethod
@@ -115,6 +118,7 @@ class RunManifest:
             "trace_path": self.trace_path,
             "workers": self.workers,
             "profile": self.profile,
+            "forensics": self.forensics,
         }
 
     @classmethod
@@ -144,6 +148,7 @@ class RunManifest:
             trace_path=data.get("trace_path"),
             workers=data.get("workers"),
             profile=data.get("profile"),
+            forensics=data.get("forensics"),
             wall_s=data.get("wall_s", 0.0),
         )
 

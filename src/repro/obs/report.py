@@ -142,6 +142,23 @@ def render_manifest(manifest: Dict[str, Any]) -> str:
                 header=("worker", "state", "units", "heartbeats",
                         "stalls", "rss_peak"),
             ))
+    forensics = manifest.get("forensics")
+    if forensics:
+        lines.append("")
+        lines.append(
+            f"forensics: {forensics.get('records', 0)} ledger records "
+            f"across {forensics.get('rows', 0)} rows"
+            + (
+                f" ({forensics.get('ledger_path')})"
+                if forensics.get("ledger_path") else ""
+            )
+        )
+        verdicts = forensics.get("verdicts") or {}
+        if verdicts:
+            lines.append(_table(
+                sorted(verdicts.items(), key=lambda kv: (-kv[1], kv[0])),
+                header=("verdict", "rows"),
+            ))
     profile = manifest.get("profile")
     if profile:
         lines.append("")

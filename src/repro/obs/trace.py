@@ -86,6 +86,31 @@ EVENT_KINDS: Dict[str, frozenset] = {
     # to be holding (fingerprint from the checkpoint journal) so resume
     # diagnostics can name the culprit (parallel/executor.py).
     "worker_lost": frozenset({"experiment", "unit", "fingerprint"}),
+    # --- Forensic decision-provenance records (obs/forensics.py) ---
+    # Only emitted while the forensics gate is enabled; they ride the
+    # normal trace stream so the shard merge reconstructs per-row
+    # history byte-identically for sharded runs.
+    # PRIL granted a LO-REF window: the page had exactly one write in
+    # its quantum, so MEMCON schedules a retention test (core/memcon.py).
+    "pril_grant": frozenset({"page", "quantum"}),
+    # PRIL dropped a LO-REF candidate before the grant could be used
+    # (cross-quantum write, repeat write, buffer overflow) (core/pril.py).
+    "pril_revoke": frozenset({"page", "reason"}),
+    # TRR fired: the aggressor crossed its activation threshold and the
+    # neighbourhood was refreshed out of turn (mc/controller.py).
+    "trr_refresh": frozenset({"t_ns", "bank", "row", "neighbors"}),
+    # A disturbance-dose evaluation found victims over threshold
+    # (dram/disturb.py); ``rows_sample`` carries up to 64 affected rows.
+    "dose_crossing": frozenset({"interval_ms", "rows_over", "max_pressure"}),
+    # One batch evaluation of the content-dependent fault predicate,
+    # with the CRC of the content snapshot it used (dram/faults.py).
+    "predicate_eval": frozenset({"interval_ms", "rows", "failed"}),
+    # Per-row failure attribution with the reconstruction coordinates
+    # needed for counterfactual replay (experiments/hammer01.py).
+    "forensic_row": frozenset({"row", "verdict"}),
+    # Per-grid-cell mitigation outcome for the TRR sweep
+    # (experiments/hammer02.py).
+    "mitigation_cell": frozenset({"refresh", "trr", "flips", "rows_flipped"}),
 }
 
 
@@ -137,8 +162,7 @@ class JsonlTraceSink:
     def emit(self, record: Mapping) -> None:
         if self.closed:
             raise ValueError("emit() on a closed JsonlTraceSink")
-        self._file.write(json.dumps(record, separators=(",", ":")))
-        self._file.write("\n")
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self.records_emitted += 1
         if self.flush_every and self.records_emitted % self.flush_every == 0:
             self._file.flush()

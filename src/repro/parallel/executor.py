@@ -82,10 +82,13 @@ class WorkerObsConfig:
     ``trace_base``/``metrics_base`` are the *final* output paths; each
     worker derives its own shard next to them (``t.worker-g1-123.jsonl``,
     ``m.worker-g1-123.json``) and the merge layer folds the shards back.
+    ``forensics`` enables the decision-provenance gate in every worker,
+    mirroring the parent's ``--forensics`` state.
     """
 
     trace_base: Optional[str] = None
     metrics_base: Optional[str] = None
+    forensics: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -138,6 +141,8 @@ def _worker_init(
             atexit_close=True,
         )
     obs.set_sink(sink)
+    if obs_cfg.forensics:
+        obs.set_forensics(True)
     registry = obs.MetricsRegistry(enabled=bool(obs_cfg.metrics_base))
     obs.set_registry(registry)
     # Pool children exit through multiprocessing's _exit_function +
@@ -363,6 +368,18 @@ class ParallelExecutor:
         }
         if self.bus is not None:
             self.bus.drain(sink=self._bus_sink)
+            # A worker's last finish heartbeat can still be in transit in
+            # the mp queue when the result pipe has already delivered its
+            # payload. After a completed run every opened unit has
+            # finished, so an in-flight row here means a straggler
+            # message — give it a bounded grace before exporting, or the
+            # table undercounts units_done.
+            deadline = time.monotonic() + 0.5
+            while any(
+                row.state != "lost" for row in self.bus.table.in_flight()
+            ) and time.monotonic() < deadline:
+                time.sleep(0.01)
+                self.bus.drain(sink=self._bus_sink)
             data["telemetry"] = self.bus.to_dict()
         return data
 

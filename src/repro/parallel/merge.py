@@ -36,6 +36,8 @@ from .executor import _split_ext, metrics_shard_path, trace_shard_path
 __all__ = [
     "discover_metric_shards",
     "discover_trace_shards",
+    "extract_sharded_ledger",
+    "iter_merged_records",
     "merge_metric_snapshots",
     "merge_run_traces",
     "parse_unit_blocks",
@@ -101,20 +103,22 @@ def _pick_block(
     return candidates[latest]
 
 
-def merge_run_traces(
+def iter_merged_records(
     parent_shard: str,
     worker_shards: Iterable[str],
-    out_path: str,
     accepted: Optional[Mapping[Tuple[str, int], Tuple[str, int]]] = None,
-) -> int:
-    """Write the canonical merged trace of a sharded run.
+) -> Iterator[dict]:
+    """Yield the canonical merged record stream of a sharded run.
 
     ``accepted`` maps ``(experiment, seq)`` to the executor's accepted
-    ``(shard_label, attempt)``. Returns the number of records written.
-    Unit blocks are spliced, in ``seq`` order, directly after their
-    experiment's ``experiment_started`` record — the position the
-    serial run emits them from — and leftover blocks (experiments whose
-    anchor never made it to disk) are appended at the end in unit order.
+    ``(shard_label, attempt)``. Unit blocks are spliced, in ``seq``
+    order, directly after their experiment's ``experiment_started``
+    record — the position the serial run emits them from — and leftover
+    blocks (experiments whose anchor never made it to disk) are
+    appended at the end in unit order. Consumers that only need a
+    filtered view (the forensic ledger, ad-hoc analysis of a killed
+    run's shards) iterate this directly instead of materialising the
+    merged file first.
     """
     blocks: Blocks = {}
     skeleton = parse_unit_blocks(parent_shard, "parent", blocks)
@@ -134,33 +138,70 @@ def merge_run_traces(
     for entries in by_experiment.values():
         entries.sort(key=lambda item: item[0])
 
+    for record in skeleton:
+        yield record
+        if record.get("kind") == "experiment_started":
+            for _seq, chosen in by_experiment.pop(
+                str(record.get("experiment")), []
+            ):
+                yield from chosen
+    # Orphan blocks: their experiment_started never hit the parent
+    # shard (killed run). Append deterministically.
+    for experiment in sorted(by_experiment):
+        for _seq, chosen in by_experiment[experiment]:
+            yield from chosen
+
+
+def merge_run_traces(
+    parent_shard: str,
+    worker_shards: Iterable[str],
+    out_path: str,
+    accepted: Optional[Mapping[Tuple[str, int], Tuple[str, int]]] = None,
+) -> int:
+    """Write the canonical merged trace of a sharded run.
+
+    A thin file-writing wrapper over :func:`iter_merged_records`;
+    returns the number of records written.
+    """
     written = 0
     parent = os.path.dirname(out_path)
     if parent:
         os.makedirs(parent, exist_ok=True)
     with open(out_path, "w", encoding="utf-8") as handle:
-
-        def write(record: dict) -> None:
-            nonlocal written
+        for record in iter_merged_records(
+            parent_shard, worker_shards, accepted
+        ):
             handle.write(json.dumps(record, separators=(",", ":")))
             handle.write("\n")
             written += 1
-
-        for record in skeleton:
-            write(record)
-            if record.get("kind") == "experiment_started":
-                for _seq, chosen in by_experiment.pop(
-                    str(record.get("experiment")), []
-                ):
-                    for unit_record in chosen:
-                        write(unit_record)
-        # Orphan blocks: their experiment_started never hit the parent
-        # shard (killed run). Append deterministically.
-        for experiment in sorted(by_experiment):
-            for _seq, chosen in by_experiment[experiment]:
-                for unit_record in chosen:
-                    write(unit_record)
     return written
+
+
+def extract_sharded_ledger(
+    trace_base: str,
+    out_path: str,
+    accepted: Optional[Mapping[Tuple[str, int], Tuple[str, int]]] = None,
+) -> Dict[str, Any]:
+    """Recover the forensic ledger straight from a killed run's shards.
+
+    The normal path extracts the ledger from the merged ``--trace``
+    file; this offline fallback streams :func:`iter_merged_records`
+    over whatever shards survived next to ``trace_base`` (plus the
+    parent shard, if present) without writing the merged trace.
+    Returns the ledger census (see
+    :func:`repro.obs.forensics.extract_ledger`).
+    """
+    from ..obs.forensics import extract_ledger
+
+    parent_shard = trace_shard_path(trace_base, "parent")
+    if not os.path.exists(parent_shard):
+        parent_shard = os.devnull
+    return extract_ledger(
+        out_path=out_path,
+        records=iter_merged_records(
+            parent_shard, discover_trace_shards(trace_base), accepted
+        ),
+    )
 
 
 def _shard_label(path: str) -> str:

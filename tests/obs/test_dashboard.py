@@ -251,3 +251,95 @@ class TestCli:
         bogus.write_text("{}")
         with pytest.raises(ValueError):
             main([str(bogus)])
+
+
+class TestHostileNames:
+    """Every interpolated name must render inert: a unit named ``<b>x``
+    (or worse) shows up as text, never as markup."""
+
+    HOSTILE = '<script>alert(1)</script><b class="x">'
+
+    def _assert_inert(self, html_text):
+        assert "<script" not in html_text
+        assert '<b class="x">' not in html_text
+        assert "&lt;script&gt;" in html_text
+
+    def test_hostile_experiment_name(self):
+        html_text = render_dashboard(_manifest(experiments=[self.HOSTILE]))
+        self._assert_inert(html_text)
+
+    def test_hostile_worker_and_unit_names(self):
+        telemetry = _telemetry()
+        worker = telemetry["workers"][0]
+        worker["label"] = self.HOSTILE
+        worker["state"] = self.HOSTILE
+        worker["timeline"][0]["experiment"] = self.HOSTILE
+        worker["timeline"][0]["unit"] = self.HOSTILE
+        # Non-numeric junk in numeric columns must escape too (_fmt
+        # falls through to str for non-numbers).
+        worker["units_done"] = self.HOSTILE
+        worker["rss_peak_bytes"] = 0
+        html_text = render_dashboard(_manifest(workers={
+            "jobs": 2, "start_method": self.HOSTILE,
+            "stats": {}, "telemetry": telemetry,
+        }))
+        self._assert_inert(html_text)
+
+    def test_hostile_profile_stack_names(self):
+        html_text = render_dashboard(_manifest(profile={
+            "sample_count": 4, "interval_s": 0.01,
+            "attributed_fraction": 1.0, "rss_peak_bytes": 1 << 20,
+            "stacks": {self.HOSTILE: 4},
+        }))
+        self._assert_inert(html_text)
+
+    def test_hostile_span_names(self):
+        html_text = render_dashboard(_manifest(spans={
+            "name": self.HOSTILE, "elapsed_s": 1.0, "count": 1,
+            "children": [],
+        }))
+        self._assert_inert(html_text)
+
+    def test_hostile_forensics_census(self):
+        html_text = render_dashboard(_manifest(forensics={
+            "records": 5, "rows": 2,
+            "kinds": {self.HOSTILE: 5},
+            "verdicts": {self.HOSTILE: 2},
+            "ledger_path": "l.jsonl",
+        }))
+        self._assert_inert(html_text)
+
+    def test_hostile_timeseries_strings(self):
+        # A hostile string in a window only the data table renders
+        # (charts skip windows without ref/tests/mc data).
+        timeseries = _timeseries()
+        timeseries["windows"].append({
+            "index": 99, "t_ms": self.HOSTILE,
+            "tests": {"started": 0, "passed": 0, "failed": 0, "aborted": 0},
+            "ref": None, "mc": None,
+        })
+        html_text = render_dashboard(
+            _manifest(), timeseries=timeseries
+        )
+        self._assert_inert(html_text)
+
+
+class TestForensicsSection:
+    def test_census_rendered(self):
+        html_text = render_dashboard(_manifest(forensics={
+            "records": 631, "rows": 12,
+            "kinds": {"forensic_row": 5, "pril_grant": 600},
+            "verdicts": {"composed": 3, "memcon-miss": 2},
+            "ledger_path": "run.forensics.jsonl",
+        }))
+        assert "Failure forensics" in html_text
+        assert "composed" in html_text
+        assert "repro.obs.why" in html_text
+        assert "run.forensics.jsonl" in html_text
+
+    def test_absent_without_census(self):
+        assert "Failure forensics" not in render_dashboard(_manifest())
+
+    def test_malformed_census_ignored(self):
+        html_text = render_dashboard(_manifest(forensics=[1, 2]))
+        assert "Failure forensics" not in html_text

@@ -184,3 +184,45 @@ class TestProfileWorkersRoundTrip:
         assert "workers: jobs 2 (fork)" in out
         assert "worker-g1-1" in out
         assert "workers_lost 0" in out
+
+
+class TestForensicsRoundTrip:
+    """The manifest's "forensics" census field and its report block."""
+
+    def _manifest(self):
+        manifest = RunManifest.start(["hammer01"], seed=3, quick=True)
+        manifest.forensics = {
+            "records": 42, "rows": 7,
+            "kinds": {"forensic_row": 5, "pril_grant": 30,
+                      "test_started": 7},
+            "verdicts": {"composed": 3, "memcon-miss": 2},
+            "ledger_path": "run.forensics.jsonl",
+        }
+        return manifest
+
+    def test_to_dict_from_dict_round_trip(self):
+        manifest = self._manifest()
+        rebuilt = RunManifest.from_dict(manifest.to_dict())
+        assert rebuilt.forensics == manifest.forensics
+        assert rebuilt.to_dict() == manifest.to_dict()
+
+    def test_from_dict_tolerates_pre_forensics_manifests(self):
+        data = self._manifest().to_dict()
+        del data["forensics"]
+        assert RunManifest.from_dict(data).forensics is None
+
+    def test_report_renders_census(self, tmp_path, capsys):
+        path = str(tmp_path / "m.json")
+        self._manifest().write(path)
+        assert report_main(["--manifest", path]) == 0
+        out = capsys.readouterr().out
+        assert "forensics: 42 ledger records across 7 rows" in out
+        assert "run.forensics.jsonl" in out
+        assert "composed" in out and "memcon-miss" in out
+
+    def test_report_silent_without_census(self, tmp_path, capsys):
+        manifest = RunManifest.start(["hammer01"], seed=3, quick=True)
+        path = str(tmp_path / "m.json")
+        manifest.write(path)
+        assert report_main(["--manifest", path]) == 0
+        assert "forensics" not in capsys.readouterr().out

@@ -1,0 +1,239 @@
+"""Counterfactual replay: property-checked against the direct predicates,
+plus the why-CLI's causal chains for the two acceptance scenarios."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.dram.faults import FaultMap, FaultModelConfig
+from repro.obs import why
+from repro.obs.forensics import classify_verdict, set_forensics
+
+
+@pytest.fixture
+def forensics_env(obs_env):
+    previous = set_forensics(True)
+    try:
+        yield obs_env
+    finally:
+        set_forensics(previous)
+
+
+def _write_trace(records, path):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+WIDTH = 512
+
+
+@st.composite
+def _scenario(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rate = draw(st.sampled_from([1e-3, 5e-3, 2e-2]))
+    row = draw(st.integers(min_value=0, max_value=15))
+    stress = draw(st.floats(min_value=0.0, max_value=60.0,
+                            allow_nan=False))
+    interval = draw(st.sampled_from([64.0, 328.0, 1024.0]))
+    content_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return seed, rate, row, stress, interval, content_seed
+
+
+class TestCounterfactualProperty:
+    """The replay scenarios ARE the direct predicates, factor by factor."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(_scenario())
+    def test_agrees_with_failing_mask_and_rows_fail(self, scenario):
+        seed, rate, row, stress, interval, content_seed = scenario
+        fault_map = FaultMap(
+            16, WIDTH, FaultModelConfig(vulnerable_cell_rate=rate),
+            seed=seed,
+        )
+        content = (
+            np.random.default_rng(content_seed).random(WIDTH) < 0.5
+        ).astype(np.uint8)
+        alt = (1 - content).astype(content.dtype)
+
+        scenarios = why.counterfactuals(
+            fault_map, row, content, interval, stress,
+            nominal_interval_ms=64.0,
+        )
+
+        def direct(bits, ms, s):
+            return bool(
+                fault_map.failing_mask(row, bits, ms, disturb_stress=s).any()
+            )
+
+        assert scenarios["factual"] == direct(content, interval, stress)
+        assert scenarios["no_disturb"] == direct(content, interval, 0.0)
+        assert scenarios["nominal_refresh"] == direct(content, 64.0, stress)
+        assert scenarios["alt_content"] == direct(alt, interval, stress)
+
+        # The batch predicate the experiments use must agree too.
+        batch = fault_map.rows_fail(
+            np.asarray([row]), content, interval,
+            disturb_stress=np.asarray([stress]),
+        )
+        assert scenarios["factual"] == bool(batch[0])
+
+        # And the verdict derived from these scenarios is a function of
+        # them alone — recomputing from the direct evaluations matches.
+        for flipped in (False, True):
+            assert classify_verdict(
+                scenarios["factual"], scenarios["no_disturb"],
+                scenarios["alt_content"], flipped=flipped,
+            ) == classify_verdict(
+                direct(content, interval, stress),
+                direct(content, interval, 0.0),
+                direct(alt, interval, stress),
+                flipped=flipped,
+            )
+
+    def test_bool_content_inverts(self):
+        fault_map = FaultMap(
+            4, 64, FaultModelConfig(vulnerable_cell_rate=5e-2), seed=1
+        )
+        content = np.zeros(64, dtype=bool)
+        scenarios = why.counterfactuals(fault_map, 0, content, 328.0, 0.0)
+        direct_alt = bool(
+            fault_map.failing_mask(0, ~content, 328.0).any()
+        )
+        assert scenarios["alt_content"] == direct_alt
+
+
+class TestWhyCliPrilChain:
+    """Acceptance scenario (a): a PRIL-granted page that later fails."""
+
+    @pytest.fixture
+    def failing_run(self, forensics_env, trace_factory, tmp_path):
+        from repro.core.memcon import MemconConfig, simulate_refresh_reduction
+
+        _registry, sink = forensics_env
+        # Many single-write pages, half of them failing: some page gets
+        # PRIL-granted, tested, and fails its retention test.
+        trace = trace_factory(
+            {p: [100.0 + p] for p in range(24)},
+            duration_ms=10_000.0, total_pages=24,
+        )
+        simulate_refresh_reduction(
+            trace, MemconConfig(quantum_ms=1000.0, test_duration_ms=64.0),
+            failing_page_fraction=0.5, seed=7,
+        )
+        path = _write_trace(sink.records, tmp_path / "ledger.jsonl")
+        granted = {r["page"] for r in sink.records
+                   if r["kind"] == "pril_grant"}
+        failed = {r["page"] for r in sink.records
+                  if r["kind"] == "test_failed"}
+        target = sorted(granted & failed)
+        assert target, "fixture must produce a granted-then-failed page"
+        return path, target[0]
+
+    def test_chain_shows_grant_then_failure(self, failing_run, capsys):
+        path, page = failing_run
+        assert why.main(["--row", str(page), "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert f"causal chain for row {page}" in out
+        grant_pos = out.index("PRIL granted LO-REF")
+        fail_pos = out.index("MEMCON test failed")
+        assert grant_pos < fail_pos
+
+    def test_unknown_row_exits_nonzero(self, failing_run, capsys):
+        path, _page = failing_run
+        assert why.main(["--row", "999999", "--trace", path]) == 1
+        assert "no ledger records" in capsys.readouterr().err
+
+
+class TestWhyCliHammerReplay:
+    """Acceptance scenario (b): a hammer01 row flagged only by the
+    composed disturbance predicate, replayed offline."""
+
+    @pytest.fixture(scope="class")
+    def hammer_ledger(self, tmp_path_factory):
+        from repro.experiments import hammer01
+
+        sink = obs.ListTraceSink()
+        previous_sink = obs.set_sink(sink)
+        previous_forensics = set_forensics(True)
+        try:
+            unit = hammer01.units(quick=True, seed=1)[0]
+            hammer01.run_unit(unit, quick=True, seed=1)
+        finally:
+            set_forensics(previous_forensics)
+            obs.set_sink(previous_sink)
+        path = _write_trace(
+            sink.records, tmp_path_factory.mktemp("ledger") / "h.jsonl"
+        )
+        return path, sink.records
+
+    def _row_with_verdict(self, records, verdict):
+        for record in records:
+            if record["kind"] == "forensic_row" and \
+                    record["verdict"] == verdict:
+                return record
+        pytest.skip(f"no {verdict!r} row in this quick unit")
+
+    def test_composed_row_replay_agrees(self, hammer_ledger, capsys):
+        path, records = hammer_ledger
+        record = self._row_with_verdict(records, "composed")
+        # A composed row: fails with content + dose, but neither the
+        # content-only nor the content-agnostic predicate flags it.
+        assert record["composed"] and not record["content_only"]
+        assert why.main(["--row", str(record["row"]), "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "attributed: composed" in out
+        assert "counterfactual replay" in out
+        assert "verdict: composed (ledger agrees)" in out
+
+    def test_all_attributions_replay_consistently(self, hammer_ledger):
+        _path, records = hammer_ledger
+        attributions = [
+            r for r in records if r["kind"] == "forensic_row"
+        ]
+        assert attributions
+        seen = set()
+        for record in attributions:
+            if record["verdict"] in seen:
+                continue  # one replay per verdict keeps this fast
+            seen.add(record["verdict"])
+            replay = why.replay_row(record)
+            assert replay["agrees"], (
+                record["row"], record["verdict"], replay
+            )
+
+    def test_no_replay_flag_prints_chain_only(self, hammer_ledger, capsys):
+        path, records = hammer_ledger
+        record = self._row_with_verdict(records, "composed")
+        assert why.main(
+            ["--row", str(record["row"]), "--trace", path, "--no-replay"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "causal chain" in out
+        assert "counterfactual replay" not in out
+
+
+class TestReplayDegradation:
+    def test_missing_coordinates_raise_key_error(self):
+        with pytest.raises(KeyError):
+            why.replay_row({"kind": "forensic_row", "row": 3,
+                            "verdict": "composed"})
+
+    def test_resolve_sources_requires_input(self):
+        with pytest.raises(SystemExit):
+            why._resolve_sources(None, None)
+
+    def test_resolve_sources_prefers_manifest_ledger(self, tmp_path):
+        from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "experiments": ["hammer01"],
+            "forensics": {"ledger_path": "l.jsonl"},
+        }))
+        assert why._resolve_sources(str(manifest), None) == ["l.jsonl"]

@@ -220,3 +220,60 @@ class TestMergeRunTraces:
         merge_run_traces(parent, discover_trace_shards(out), out)
         pages = [r.get("page") for r in read_trace(out, validate=False)]
         assert pages == [None, 7, 8]
+
+
+class TestIterMergedRecords:
+    """The streaming form: identical order to the written merge, and the
+    ledger extractor can consume shards without a merged file."""
+
+    def _shard_set(self, tmp_path):
+        parent = _write(tmp_path / "t.parent.jsonl", [
+            _rec("run_started", experiments=["e"], seed=1, quick=True),
+            _rec("experiment_started", experiment="e"),
+            _rec("experiment_finished", experiment="e", wall_s=0.0),
+            _rec("run_finished", wall_s=0.0),
+        ])
+        block = [
+            _rec("unit_started", experiment="e", unit="u0", seq=0,
+                 attempt=1),
+            _rec("pril_grant", page=4, quantum=0),
+            _rec("test_started", t_ms=0.0, page=4),
+            _rec("forensic_row", row=4, verdict="composed"),
+            _rec("unit_finished", experiment="e", unit="u0", seq=0,
+                 attempt=1, wall_s=0.0),
+        ]
+        _write(tmp_path / "t.worker-g1-1.jsonl", block)
+        return parent, str(tmp_path / "t.jsonl")
+
+    def test_stream_matches_written_merge(self, tmp_path):
+        from repro.parallel.merge import iter_merged_records
+
+        parent, out = self._shard_set(tmp_path)
+        shards = discover_trace_shards(out)
+        streamed = list(iter_merged_records(parent, shards))
+        merge_run_traces(parent, shards, out)
+        assert streamed == list(read_trace(out, validate=False))
+
+    def test_extract_sharded_ledger_without_merged_file(self, tmp_path):
+        from repro.parallel.merge import extract_sharded_ledger
+
+        _parent, out = self._shard_set(tmp_path)
+        ledger = str(tmp_path / "t.forensics.jsonl")
+        census = extract_sharded_ledger(out, ledger)
+        assert census["records"] == 3
+        assert census["kinds"] == {
+            "forensic_row": 1, "pril_grant": 1, "test_started": 1,
+        }
+        assert census["verdicts"] == {"composed": 1}
+        written = [json.loads(line) for line in open(ledger)]
+        assert [r["kind"] for r in written] == [
+            "pril_grant", "test_started", "forensic_row",
+        ]
+
+    def test_ledger_file_is_not_mistaken_for_a_shard(self, tmp_path):
+        # The ledger lives next to the trace; the worker-shard glob must
+        # never pick it up on a later re-merge.
+        _parent, out = self._shard_set(tmp_path)
+        (tmp_path / "t.forensics.jsonl").write_text("")
+        shards = discover_trace_shards(out)
+        assert all("forensics" not in shard for shard in shards)
