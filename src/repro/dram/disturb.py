@@ -46,6 +46,7 @@ pure content predicate at zero pressure.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -59,10 +60,13 @@ from .faults import (
     _MASK64,
     _TAG_POLARITY,
     _U64,
+    RESIDENT_ROWS_GAUGE,
     _binomial_quantile,
     _draw_distinct_columns,
     _draw_lognormal_thresholds,
+    _evict_lru_rows,
     _mix64,
+    _note_residency,
     _unit,
 )
 
@@ -152,15 +156,19 @@ class DisturbMap:
         bits_per_row: int,
         config: DisturbModelConfig = DisturbModelConfig(),
         seed: int = 0,
+        max_resident_rows: Optional[int] = None,
     ) -> None:
         if total_rows <= 0 or bits_per_row <= 0:
             raise ValueError("rows and bits_per_row must be positive")
+        if max_resident_rows is not None and max_resident_rows < 1:
+            raise ValueError("max_resident_rows must be positive or None")
         self.total_rows = total_rows
         self.bits_per_row = bits_per_row
         self.config = config
         self.seed = seed
+        self.max_resident_rows = max_resident_rows
         self._seed_base = _mix64(np.array(seed & _MASK64, dtype=_U64))
-        self._populations: Dict[int, _HammerRow] = {}
+        self._populations: "OrderedDict[int, _HammerRow]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Population generation
@@ -170,12 +178,38 @@ class DisturbMap:
             return _mix64(self._seed_base ^ (rows.astype(_U64) * _GOLDEN))
 
     def _ensure_rows(self, rows: np.ndarray) -> None:
-        missing = [
-            int(r) for r in np.unique(rows)
-            if int(r) not in self._populations
-        ]
+        pops = self._populations
+        unique = np.unique(rows)
+        missing = [int(r) for r in unique if int(r) not in pops]
+        evicted = 0
+        if self.max_resident_rows is not None:
+            if len(missing) < len(unique):
+                for r in unique:
+                    r = int(r)
+                    if r in pops:
+                        pops.move_to_end(r)
+            evicted = _evict_lru_rows(
+                pops, self.max_resident_rows, len(unique), len(missing)
+            )
         if missing:
             self._generate_rows(np.asarray(missing, dtype=np.int64))
+        _note_residency(len(missing), evicted)
+
+    def resident_rows(self) -> int:
+        """How many rows currently hold materialized population state."""
+        return len(self._populations)
+
+    def release(self) -> None:
+        """Drop all resident row state and square up the process gauge.
+
+        Mirrors :meth:`~repro.dram.faults.FaultMap.release`: populations
+        regenerate bitwise-identically on the next touch, and releasing
+        keeps the shared resident-rows gauge an account of live state.
+        """
+        resident = len(self._populations)
+        self._populations.clear()
+        if resident:
+            obs.get_registry().gauge(RESIDENT_ROWS_GAUGE).add(-resident)
 
     def _generate_rows(self, rows: np.ndarray) -> None:
         """Generate populations for (unique, uncached) ``rows`` in one pass."""
@@ -227,8 +261,10 @@ class DisturbMap:
         self._check_rows(np.asarray([row_index], dtype=np.int64))
         pop = self._populations.get(row_index)
         if pop is None:
-            self._generate_rows(np.array([row_index], dtype=np.int64))
+            self._ensure_rows(np.array([row_index], dtype=np.int64))
             pop = self._populations[row_index]
+        elif self.max_resident_rows is not None:
+            self._populations.move_to_end(row_index)
         return pop
 
     def _check_rows(self, rows: np.ndarray) -> None:

@@ -48,12 +48,57 @@ from __future__ import annotations
 
 import math
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .. import obs
+
+#: Registry names for resident-row accounting, shared by FaultMap and
+#: DisturbMap so the gauge reads total dense row state per process.
+RESIDENT_ROWS_GAUGE = "dram.resident_rows"
+ROWS_EVICTED_COUNTER = "dram.rows_evicted"
+
+
+def _evict_lru_rows(
+    populations: "OrderedDict[int, object]",
+    budget: int,
+    batch: int,
+    incoming: int,
+    shadow: Optional[Dict[int, object]] = None,
+) -> int:
+    """Evict least-recently-used rows so ``resident + incoming`` fits.
+
+    ``batch`` is the size of the unique row batch about to be evaluated
+    and ``incoming`` how many of those are not yet resident. The caller
+    must have already touched (moved to the MRU end) every resident row
+    of the batch; the effective target is ``max(budget, batch)``, so no
+    row of the active batch is ever evicted mid-evaluation — eviction
+    stops once only batch rows remain. ``shadow`` is an optional
+    secondary per-row cache evicted in lockstep. Returns the eviction
+    count; regeneration on a later touch is bitwise-identical because row
+    populations are pure functions of (seed, row) counter streams.
+    """
+    target = max(budget, batch)
+    evicted = 0
+    while len(populations) + incoming > target and populations:
+        row, _ = populations.popitem(last=False)
+        if shadow is not None:
+            shadow.pop(row, None)
+        evicted += 1
+    return evicted
+
+
+def _note_residency(generated: int, evicted: int) -> None:
+    """Fold a generation/eviction delta into the process metrics."""
+    if not (generated or evicted):
+        return
+    registry = obs.get_registry()
+    if evicted:
+        registry.counter(ROWS_EVICTED_COUNTER).inc(evicted)
+    registry.gauge(RESIDENT_ROWS_GAUGE).add(generated - evicted)
 
 # ----------------------------------------------------------------------
 # Counter-based RNG substrate (SplitMix64 sub-streams)
@@ -265,15 +310,19 @@ class FaultMap:
         bits_per_row: int,
         config: FaultModelConfig = FaultModelConfig(),
         seed: int = 0,
+        max_resident_rows: Optional[int] = None,
     ) -> None:
         if total_rows <= 0 or bits_per_row <= 0:
             raise ValueError("rows and bits_per_row must be positive")
+        if max_resident_rows is not None and max_resident_rows < 1:
+            raise ValueError("max_resident_rows must be positive or None")
         self.total_rows = total_rows
         self.bits_per_row = bits_per_row
         self.config = config
         self.seed = seed
+        self.max_resident_rows = max_resident_rows
         self._seed_base = _mix64(np.array(seed & _MASK64, dtype=_U64))
-        self._populations: Dict[int, RowPopulation] = {}
+        self._populations: "OrderedDict[int, RowPopulation]" = OrderedDict()
         self._rows: Dict[int, Tuple[VulnerableCell, ...]] = {}
 
     # ------------------------------------------------------------------
@@ -313,9 +362,42 @@ class FaultMap:
         }
 
     def _ensure_rows(self, rows: np.ndarray) -> None:
-        missing = [int(r) for r in np.unique(rows) if int(r) not in self._populations]
+        pops = self._populations
+        unique = np.unique(rows)
+        missing = [int(r) for r in unique if int(r) not in pops]
+        evicted = 0
+        if self.max_resident_rows is not None:
+            if len(missing) < len(unique):
+                for r in unique:
+                    r = int(r)
+                    if r in pops:
+                        pops.move_to_end(r)
+            evicted = _evict_lru_rows(
+                pops, self.max_resident_rows, len(unique), len(missing),
+                shadow=self._rows,
+            )
         if missing:
             self._generate_rows(np.asarray(missing, dtype=np.int64))
+        _note_residency(len(missing), evicted)
+
+    def resident_rows(self) -> int:
+        """How many rows currently hold materialized population state."""
+        return len(self._populations)
+
+    def release(self) -> None:
+        """Drop all resident row state and square up the process gauge.
+
+        Populations regenerate bitwise-identically on the next touch, so
+        this only trades memory for recomputation. Short-lived maps (one
+        fleet host screened per work unit) call this when done so the
+        process-wide resident-rows gauge tracks *live* dense state, not
+        every map ever constructed.
+        """
+        resident = len(self._populations)
+        self._populations.clear()
+        self._rows.clear()
+        if resident:
+            obs.get_registry().gauge(RESIDENT_ROWS_GAUGE).add(-resident)
 
     def _generate_rows(self, rows: np.ndarray) -> None:
         """Generate populations for (unique, uncached) ``rows`` in one pass."""
@@ -388,8 +470,10 @@ class FaultMap:
         self._check_row(row_index)
         pop = self._populations.get(row_index)
         if pop is None:
-            self._generate_rows(np.array([row_index], dtype=np.int64))
+            self._ensure_rows(np.array([row_index], dtype=np.int64))
             pop = self._populations[row_index]
+        elif self.max_resident_rows is not None:
+            self._populations.move_to_end(row_index)
         return pop
 
     def row_is_true_cell(self, row_index: int) -> bool:

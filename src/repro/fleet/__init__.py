@@ -1,0 +1,65 @@
+"""`repro.fleet` — an asyncio fleet service simulating MEMCON hosts.
+
+The paper evaluates MEMCON one memory system at a time; this package
+scales that to a simulated datacenter. A long-lived service
+(``python -m repro.fleet.serve``) accepts tenant/host registrations and
+NDJSON write-trace streams over HTTP, schedules each sealed host as a
+deterministic work unit on the shared :mod:`repro.parallel` executor,
+and serves live per-tenant and fleet-wide rollups while the fleet runs.
+
+Pieces, ingest to egress:
+
+* :mod:`.protocol` — JSON/NDJSON message shapes and strict validation.
+* :mod:`.registry` — thread-safe tenant/host lifecycle store; sealing
+  freezes the exact params dict a work unit carries.
+* :mod:`.hostsim` — one host as a ``fleet_host`` work unit: optional
+  fault-map screen, MEMCON simulation, canonical result table.
+* :mod:`.scheduler` — dispatch thread batching hosts onto one
+  persistent executor, with checkpoint-journal crash-resume.
+* :mod:`.aggregator` — streaming fold of host payloads into the
+  manifest's ``"fleet"`` section.
+* :mod:`.server` / :mod:`.serve` — the asyncio HTTP endpoint and CLI.
+* :mod:`.client` — synchronous stdlib client (smoke/CI/tests driver).
+
+Determinism contract: a host simulated through the fleet produces a
+byte-identical table to :func:`repro.fleet.hostsim.run_host` given the
+same sealed params — scheduling order, batching, and job count never
+leak into results.
+"""
+
+from .aggregator import COVERAGE_BIN_EDGES, FleetAggregator
+from .client import FleetClient, FleetClientError
+from .hostsim import host_table, run_host
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .registry import (
+    HOST_STATUSES,
+    FleetError,
+    HostRegistry,
+    HostSpec,
+    HostState,
+    TenantProfile,
+)
+from .scheduler import FleetScheduler, SchedulerStats
+from .server import FleetHTTPServer, FleetService, run_service_in_thread
+
+__all__ = [
+    "COVERAGE_BIN_EDGES",
+    "FleetAggregator",
+    "FleetClient",
+    "FleetClientError",
+    "host_table",
+    "run_host",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "HOST_STATUSES",
+    "FleetError",
+    "HostRegistry",
+    "HostSpec",
+    "HostState",
+    "TenantProfile",
+    "FleetScheduler",
+    "SchedulerStats",
+    "FleetHTTPServer",
+    "FleetService",
+    "run_service_in_thread",
+]

@@ -1,0 +1,243 @@
+"""Fleet-wide and per-tenant rollups over streamed host results.
+
+The aggregator is the read side of the fleet service: every host payload
+the scheduler delivers is folded immediately (no replay over stored
+results), so the status endpoint answers in O(tenants) regardless of
+fleet size. Folded state:
+
+* **per tenant** — hosts done/failed, LO-REF coverage statistics
+  (mean/min/max plus exact p50/p95 over the retained sample), test
+  outcome totals, PRIL hit rate, test bandwidth (tests per simulated
+  second), and the fold of any per-host windowed rollups
+  (:mod:`repro.obs.analytics` condensed form).
+* **fleet-wide** — host counts, a fixed-bin coverage distribution,
+  scheduling-latency tail percentiles across hosts (p50/p95/p99),
+  ingest totals and backlog peak, and the resident-rows / trace-cache
+  accounting sampled from the metrics registry.
+
+:meth:`FleetAggregator.to_dict` is the manifest's ``"fleet"`` section;
+``repro.obs.compare`` extracts its numerics and ``repro.obs.dashboard``
+renders it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["COVERAGE_BIN_EDGES", "FleetAggregator"]
+
+#: Fixed LO-REF coverage histogram edges (fractions of simulated time).
+COVERAGE_BIN_EDGES = tuple(i / 10.0 for i in range(11))
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Exact q-quantile by rank (nearest-rank method); None when empty."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+class _TenantFold:
+    def __init__(self) -> None:
+        self.hosts_done = 0
+        self.hosts_failed = 0
+        self.coverage: List[float] = []
+        self.reductions: List[float] = []
+        self.tests = {
+            "total": 0, "failed": 0, "correct": 0,
+            "mispredicted": 0, "aborted": 0,
+        }
+        self.window_s = 0.0
+        self.rollup_events = 0
+        self.rollup_windows = 0
+        self.pril_started = 0
+        self.pril_resolved = 0
+
+    def fold(self, payload: Mapping[str, Any]) -> None:
+        report = payload["report"]
+        self.hosts_done += 1
+        self.coverage.append(float(report["lo_ref_time_fraction"]))
+        self.reductions.append(float(report["refresh_reduction"]))
+        self.tests["total"] += report["tests_total"]
+        self.tests["failed"] += report["tests_failed"]
+        self.tests["correct"] += report["tests_correct"]
+        self.tests["mispredicted"] += report["tests_mispredicted"]
+        self.tests["aborted"] += report["tests_aborted"]
+        self.window_s += float(report["window_ms"]) * 1e-3
+        rollup = payload.get("rollup")
+        if rollup:
+            self.rollup_events += rollup["events_total"]
+            self.rollup_windows += len(rollup["windows"])
+            self.pril_started += rollup["pril"]["started"]
+            self.pril_resolved += rollup["pril"]["resolved"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        total = self.tests["total"]
+        entry: Dict[str, Any] = {
+            "hosts_done": self.hosts_done,
+            "hosts_failed": self.hosts_failed,
+            "coverage": {
+                "mean": (
+                    sum(self.coverage) / len(self.coverage)
+                    if self.coverage else None
+                ),
+                "min": min(self.coverage) if self.coverage else None,
+                "max": max(self.coverage) if self.coverage else None,
+                "p50": _percentile(self.coverage, 0.50),
+                "p95": _percentile(self.coverage, 0.95),
+            },
+            "refresh_reduction_mean": (
+                sum(self.reductions) / len(self.reductions)
+                if self.reductions else None
+            ),
+            "tests": dict(self.tests),
+            "pril_hit_rate": (
+                self.tests["correct"] / total if total else None
+            ),
+            "test_bandwidth_per_s": (
+                total / self.window_s if self.window_s else None
+            ),
+        }
+        if self.rollup_windows:
+            entry["rollup"] = {
+                "windows": self.rollup_windows,
+                "events_total": self.rollup_events,
+                "pril_hit_rate": (
+                    self.pril_resolved / self.pril_started
+                    if self.pril_started else None
+                ),
+            }
+        return entry
+
+
+class FleetAggregator:
+    """Streaming fold of host results into the manifest's fleet section."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantFold] = {}
+        self._wall: List[float] = []
+        self._coverage_bins = [0] * (len(COVERAGE_BIN_EDGES) - 1)
+        self._ingest_records = 0
+        self._backlog_peak = 0
+        self._resident_peak = 0
+        self._rows_evicted = 0.0
+        self._cache_hits = 0.0
+        self._cache_misses = 0.0
+
+    # -- folds ---------------------------------------------------------
+    def _tenant(self, tenant_id: str) -> _TenantFold:
+        fold = self._tenants.get(tenant_id)
+        if fold is None:
+            fold = self._tenants[tenant_id] = _TenantFold()
+        return fold
+
+    def host_done(
+        self, payload: Mapping[str, Any], wall_s: Optional[float] = None
+    ) -> None:
+        with self._lock:
+            self._tenant(str(payload["tenant"])).fold(payload)
+            coverage = float(payload["report"]["lo_ref_time_fraction"])
+            bin_index = min(
+                len(self._coverage_bins) - 1,
+                int(coverage * (len(COVERAGE_BIN_EDGES) - 1)),
+            )
+            self._coverage_bins[bin_index] += 1
+            if wall_s is not None:
+                self._wall.append(float(wall_s))
+            screen = payload.get("screen")
+            if screen:
+                self._resident_peak = max(
+                    self._resident_peak, int(screen["resident_rows_peak"])
+                )
+
+    def host_failed(self, tenant_id: str) -> None:
+        with self._lock:
+            self._tenant(tenant_id).hosts_failed += 1
+
+    def note_ingest(self, records: int, backlog: int) -> None:
+        with self._lock:
+            self._ingest_records += records
+            if backlog > self._backlog_peak:
+                self._backlog_peak = backlog
+
+    def note_metrics(self, snapshot: Mapping[str, Any]) -> None:
+        """Sample registry-derived accounting (resident rows, caches)."""
+        counters = snapshot.get("counters") or {}
+        gauges = snapshot.get("gauges") or {}
+        with self._lock:
+            resident = gauges.get("dram.resident_rows")
+            if resident is not None:
+                self._resident_peak = max(
+                    self._resident_peak, int(resident))
+            self._rows_evicted = counters.get(
+                "dram.rows_evicted", self._rows_evicted)
+            self._cache_hits = counters.get(
+                "traces.cache_hits", self._cache_hits)
+            self._cache_misses = counters.get(
+                "traces.cache_misses", self._cache_misses)
+
+    # -- rollup --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            tenants = {
+                tenant_id: fold.to_dict()
+                for tenant_id, fold in sorted(self._tenants.items())
+            }
+            hosts_done = sum(f.hosts_done for f in self._tenants.values())
+            hosts_failed = sum(
+                f.hosts_failed for f in self._tenants.values())
+            tests_total = sum(
+                f.tests["total"] for f in self._tenants.values())
+            tests_correct = sum(
+                f.tests["correct"] for f in self._tenants.values())
+            window_s = sum(f.window_s for f in self._tenants.values())
+            coverage_all = [
+                value for f in self._tenants.values() for value in f.coverage
+            ]
+            return {
+                "hosts": {
+                    "done": hosts_done,
+                    "failed": hosts_failed,
+                },
+                "tenants": tenants,
+                "coverage": {
+                    "mean": (
+                        sum(coverage_all) / len(coverage_all)
+                        if coverage_all else None
+                    ),
+                    "bin_edges": list(COVERAGE_BIN_EDGES),
+                    "bin_counts": list(self._coverage_bins),
+                },
+                "wall": {
+                    "hosts_timed": len(self._wall),
+                    "p50_s": _percentile(self._wall, 0.50),
+                    "p95_s": _percentile(self._wall, 0.95),
+                    "p99_s": _percentile(self._wall, 0.99),
+                    "max_s": max(self._wall) if self._wall else None,
+                },
+                "tests": {
+                    "total": tests_total,
+                    "bandwidth_per_s": (
+                        tests_total / window_s if window_s else None
+                    ),
+                },
+                "pril_hit_rate": (
+                    tests_correct / tests_total if tests_total else None
+                ),
+                "ingest": {
+                    "records": self._ingest_records,
+                    "backlog_peak": self._backlog_peak,
+                },
+                "resident_rows": {
+                    "peak": self._resident_peak,
+                    "evicted": self._rows_evicted,
+                },
+                "trace_cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                },
+            }

@@ -1,0 +1,164 @@
+"""Synchronous fleet client over stdlib ``http.client``.
+
+The client is the other half of the protocol module: it encodes the
+messages :mod:`.protocol` validates, against a running fleet service.
+It is what the smoke driver, the CI job, and the determinism tests use
+to drive a service — and the reference for anyone scripting a fleet
+from outside this repo.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from . import protocol
+from .registry import TenantProfile
+
+__all__ = ["FleetClient", "FleetClientError"]
+
+
+class FleetClientError(RuntimeError):
+    """A non-2xx response from the fleet service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class FleetClient:
+    """Talks to one fleet service; one connection per request."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[str] = None,
+        content_type: str = "application/json",
+    ) -> str:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    message = json.loads(text).get("error", text)
+                except (json.JSONDecodeError, AttributeError):
+                    message = text
+                raise FleetClientError(response.status, message)
+            return text
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str, obj: Any = None) -> Any:
+        body = None if obj is None else json.dumps(obj)
+        return json.loads(self._request(method, path, body))
+
+    # -- registration --------------------------------------------------
+    def register_tenant(
+        self, profile: "TenantProfile | Mapping[str, Any]"
+    ) -> Dict[str, Any]:
+        if isinstance(profile, TenantProfile):
+            profile = protocol.encode_tenant(profile)
+        return self._json("POST", "/v1/tenants", dict(profile))
+
+    def register_host(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        return self._json("POST", "/v1/hosts", dict(spec))
+
+    # -- trace streaming -----------------------------------------------
+    def stream_trace(
+        self,
+        host_id: str,
+        writes: Mapping[int, Iterable[float]],
+        chunk_records: int = 512,
+    ) -> int:
+        """POST a writes mapping as NDJSON, chunked; returns records sent."""
+        pages = sorted(writes.items())
+        sent = 0
+        for start in range(0, len(pages), chunk_records):
+            chunk = dict(pages[start:start + chunk_records])
+            self._request(
+                "POST",
+                f"/v1/hosts/{host_id}/trace",
+                protocol.trace_lines(chunk),
+                content_type="application/x-ndjson",
+            )
+            sent += len(chunk)
+        return sent
+
+    def seal(self, host_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/v1/hosts/{host_id}/seal")
+
+    # -- status / results ----------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/status")
+
+    def manifest(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/manifest")
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/v1/tenants")["tenants"]
+
+    def hosts(self) -> List[Dict[str, Any]]:
+        return self._json("GET", "/v1/hosts")["hosts"]
+
+    def host_detail(self, host_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/hosts/{host_id}")
+
+    def host_table(self, host_id: str) -> str:
+        return self._request("GET", f"/v1/hosts/{host_id}/table")
+
+    def submit_job(
+        self, experiment: str, quick: bool = True, seed: int = 1
+    ) -> str:
+        return self._json(
+            "POST", "/v1/jobs",
+            {"experiment": experiment, "quick": quick, "seed": seed},
+        )["job_id"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def shutdown(self) -> None:
+        self._json("POST", "/v1/shutdown")
+
+    # -- polling -------------------------------------------------------
+    def wait_all_done(
+        self, timeout_s: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll the status endpoint until every host is terminal."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status()
+            if status["all_done"]:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"fleet not done after {timeout_s}s: {status['hosts']}")
+            time.sleep(poll_s)
+
+    def wait_job(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll one experiment job until it leaves the queue."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} not done after {timeout_s}s")
+            time.sleep(poll_s)

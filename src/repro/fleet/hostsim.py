@@ -1,0 +1,318 @@
+"""One simulated MEMCON host as a deterministic work unit.
+
+The fleet service treats every host as a self-contained unit of the
+``fleet_host`` pseudo-experiment: the unit's params carry *everything*
+the simulation needs (trace source, seeds, MEMCON knobs, fault-screen
+budget), so the executor-level ``quick``/``seed`` arguments are fixed
+constants and a host produces the same payload whether it runs inline,
+in a pool worker, through the fleet scheduler, or via :func:`run_host`
+standalone — the byte-identity property the fleet tests pin down.
+
+A host simulation has three deterministic stages:
+
+1. **Trace** — either the host's streamed writes (ingested over the
+   fleet protocol) or a synthetic trace generated from a named workload
+   profile with the host's seed.
+2. **Fault screen** (optional) — a :class:`~repro.dram.faults.FaultMap`
+   built with the host's chip seed is scanned chunk-by-chunk under a
+   ``max_resident_rows`` budget; the ALL-FAIL row fraction becomes the
+   host's ``failing_page_fraction``, tying the MEMCON test-failure rate
+   to the content-dependent failure model instead of a hand-set number.
+3. **MEMCON** — :func:`~repro.core.memcon.simulate_refresh_reduction`
+   over the trace. With ``rollup`` enabled the simulation additionally
+   runs under an :class:`~repro.obs.AggregatingSink`, attaching windowed
+   LO-REF/test/PRIL rollups to the payload for the tenant aggregator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.memcon import MemconConfig, simulate_refresh_reduction
+from ..dram.faults import FaultMap, FaultModelConfig
+from ..experiments.common import ExperimentResult, percent, plain
+from ..parallel.units import WorkUnit, register_experiment
+from ..traces.events import WriteTrace
+from ..traces.generator import generate_trace
+from ..traces.workloads import WORKLOADS
+
+__all__ = [
+    "EXPERIMENT",
+    "HOST_QUICK",
+    "HOST_SEED",
+    "host_table",
+    "host_unit",
+    "merge_units",
+    "run_host",
+    "run_unit",
+    "units",
+]
+
+EXPERIMENT = "fleet_host"
+
+#: Host units are pure functions of their params, so the executor-level
+#: (quick, seed) pair is pinned to constants: checkpoint fingerprints
+#: then depend only on the host params, and a resumed fleet service can
+#: match journal entries regardless of which run wrote them.
+HOST_QUICK = True
+HOST_SEED = 0
+
+#: Fault-screen defaults; ``fault_screen`` params override per key.
+SCREEN_DEFAULTS: Dict[str, Any] = {
+    "vulnerable_cell_rate": 2.0e-4,
+    "bits_per_row": 1024,
+    "interval_ms": 328.0,
+    "chunk_rows": 256,
+    "max_resident_rows": None,
+}
+
+register_experiment(EXPERIMENT, "repro.fleet.hostsim")
+
+
+def host_unit(params: Dict[str, Any], seq: int = 0) -> WorkUnit:
+    """Wrap validated host params into a schedulable work unit."""
+    missing = [key for key in ("host", "tenant") if not params.get(key)]
+    if missing:
+        raise ValueError(f"host params missing {missing}")
+    if not params.get("workload") and not params.get("writes"):
+        raise ValueError(
+            f"host {params['host']!r} has neither a workload nor "
+            "streamed writes"
+        )
+    return WorkUnit(
+        EXPERIMENT, str(params["host"]), dict(params), seq=seq,
+        module="repro.fleet.hostsim",
+    )
+
+
+def units(quick: bool = True, seed: int = 1) -> List[WorkUnit]:
+    """Hosts are registered dynamically; there is no static decomposition."""
+    return []
+
+
+# ----------------------------------------------------------------------
+# Stage 1: the write trace
+# ----------------------------------------------------------------------
+def _trace_of(params: Dict[str, Any]) -> WriteTrace:
+    writes = params.get("writes")
+    if writes is not None:
+        return WriteTrace(
+            duration_ms=float(params["duration_ms"]),
+            writes={
+                int(page): np.sort(np.asarray(times, dtype=np.float64))
+                for page, times in writes.items()
+            },
+            total_pages=int(params["total_pages"]),
+            name=str(params["host"]),
+        )
+    name = params["workload"]
+    profile = WORKLOADS[name]
+    return generate_trace(
+        profile,
+        seed=int(params["seed"]),
+        duration_ms=params.get("duration_ms"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage 2: content-dependent fault screen under a residency budget
+# ----------------------------------------------------------------------
+def _screen_failing_fraction(
+    params: Dict[str, Any], total_pages: int
+) -> Dict[str, Any]:
+    """ALL-FAIL row fraction of the host's chip, chunked under budget."""
+    screen = dict(SCREEN_DEFAULTS)
+    screen.update(params.get("fault_screen") or {})
+    fault_map = FaultMap(
+        total_rows=total_pages,
+        bits_per_row=int(screen["bits_per_row"]),
+        config=FaultModelConfig(
+            vulnerable_cell_rate=float(screen["vulnerable_cell_rate"]),
+        ),
+        seed=int(params["seed"]),
+        max_resident_rows=screen["max_resident_rows"],
+    )
+    chunk = max(1, int(screen["chunk_rows"]))
+    interval_ms = float(screen["interval_ms"])
+    failing = 0
+    resident_peak = 0
+    for start in range(0, total_pages, chunk):
+        rows = np.arange(start, min(start + chunk, total_pages))
+        failing += int(fault_map.rows_can_ever_fail(rows, interval_ms).sum())
+        resident_peak = max(resident_peak, fault_map.resident_rows())
+    fault_map.release()
+    return {
+        "failing_page_fraction": failing / total_pages,
+        "failing_pages": failing,
+        "resident_rows_peak": resident_peak,
+    }
+
+
+# ----------------------------------------------------------------------
+# Stage 3: MEMCON (optionally under a windowed rollup sink)
+# ----------------------------------------------------------------------
+def _memcon_config(params: Dict[str, Any]) -> MemconConfig:
+    kwargs: Dict[str, Any] = {}
+    for key in ("quantum_ms", "hi_ref_interval_ms", "lo_ref_interval_ms"):
+        if params.get(key) is not None:
+            kwargs[key] = float(params[key])
+    return MemconConfig(**kwargs)
+
+
+def _condense_rollup(rollup: Dict[str, Any]) -> Dict[str, Any]:
+    """The windowed slice of an aggregator rollup a tenant view needs."""
+    windows = []
+    for window in rollup.get("windows", []):
+        entry = {
+            "index": window["index"],
+            "t_ms": window["t_ms"],
+            "tests": dict(window["tests"]),
+        }
+        ref = window.get("ref")
+        if ref is not None:
+            entry["lo_fraction"] = ref["lo_fraction"]
+        windows.append(entry)
+    pril = rollup.get("pril", [])
+    started = sum(q["started"] for q in pril)
+    resolved = sum(q["resolved"] for q in pril)
+    return {
+        "window_ms": rollup["window_ms"],
+        "events_total": rollup["events_total"],
+        "windows": windows,
+        "pril": {
+            "quanta": len(pril),
+            "started": started,
+            "resolved": resolved,
+            "hit_rate": resolved / started if started else None,
+        },
+    }
+
+
+def run_unit(
+    unit: WorkUnit, quick: bool = HOST_QUICK, seed: int = HOST_SEED
+) -> Dict[str, Any]:
+    """Simulate one host; ``quick``/``seed`` are ignored by design."""
+    params = unit.params
+    trace = _trace_of(params)
+    payload: Dict[str, Any] = {
+        "host": str(params["host"]),
+        "tenant": str(params["tenant"]),
+        "seed": int(params["seed"]),
+        "workload": trace.name,
+    }
+    failing_fraction = float(params.get("failing_page_fraction") or 0.0)
+    if params.get("fault_screen") is not None:
+        screen = _screen_failing_fraction(params, trace.total_pages)
+        failing_fraction = screen["failing_page_fraction"]
+        payload["screen"] = screen
+    config = _memcon_config(params)
+    rollup_sink: Optional[obs.AggregatingSink] = None
+    previous_sink = None
+    if params.get("rollup"):
+        rollup_sink = obs.AggregatingSink(
+            window_ms=float(params.get("rollup_window_ms")
+                            or config.quantum_ms),
+            total_pages=trace.total_pages,
+        )
+        previous_sink = obs.set_sink(
+            obs.TeeSink(obs.get_sink(), rollup_sink)
+            if obs.trace_active() else rollup_sink
+        )
+    try:
+        report = simulate_refresh_reduction(
+            trace, config,
+            failing_page_fraction=failing_fraction,
+            seed=int(params["seed"]),
+        )
+    finally:
+        if rollup_sink is not None:
+            obs.set_sink(previous_sink)
+    payload["report"] = plain({
+        "window_ms": report.window_ms,
+        "total_pages": report.total_pages,
+        "refresh_count": report.refresh_count,
+        "baseline_refresh_count": report.baseline_refresh_count,
+        "refresh_reduction": report.refresh_reduction,
+        "lo_ref_time_fraction": report.lo_ref_time_fraction,
+        "tests_total": report.tests_total,
+        "tests_failed": report.tests_failed,
+        "tests_correct": report.tests_correct,
+        "tests_mispredicted": report.tests_mispredicted,
+        "tests_aborted": report.tests_aborted,
+    })
+    payload["failing_page_fraction"] = float(failing_fraction)
+    if rollup_sink is not None:
+        payload["rollup"] = plain(_condense_rollup(rollup_sink.to_dict()))
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Tables: the per-host artifact the byte-identity gate compares
+# ----------------------------------------------------------------------
+def _host_row(payload: Dict[str, Any]) -> Dict[str, Any]:
+    report = payload["report"]
+    tests = report["tests_total"]
+    correct = report["tests_correct"]
+    return {
+        "host": payload["host"],
+        "tenant": payload["tenant"],
+        "workload": payload["workload"],
+        "pages": report["total_pages"],
+        "window_ms": report["window_ms"],
+        "reduction": percent(report["refresh_reduction"]),
+        "lo_ref": percent(report["lo_ref_time_fraction"]),
+        "tests": tests,
+        "failed": report["tests_failed"],
+        "pril_hit": percent(correct / tests) if tests else "-",
+    }
+
+
+def host_table(payload: Dict[str, Any]) -> str:
+    """Render one host's result as the canonical text table."""
+    result = ExperimentResult(
+        experiment_id=f"{EXPERIMENT}:{payload['host']}",
+        title="MEMCON host simulation",
+        paper_claim=(
+            "64.7-74.5% refresh reduction at the Figure 14 operating point"
+        ),
+    )
+    result.add_row(**_host_row(payload))
+    return result.to_text()
+
+
+def merge_units(
+    payloads: List[Dict[str, Any]],
+    quick: bool = HOST_QUICK,
+    seed: int = HOST_SEED,
+) -> ExperimentResult:
+    """Fold a batch of host payloads into one fleet table."""
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT,
+        title="MEMCON fleet hosts",
+        paper_claim=(
+            "64.7-74.5% refresh reduction at the Figure 14 operating point"
+        ),
+    )
+    reductions = []
+    for payload in payloads:
+        result.add_row(**_host_row(payload))
+        reductions.append(payload["report"]["refresh_reduction"])
+    if reductions:
+        result.notes = (
+            f"{len(reductions)} hosts; reduction spans "
+            f"{percent(min(reductions))}-{percent(max(reductions))}"
+        )
+    return result
+
+
+def run_host(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Standalone comparator: simulate one host outside the fleet.
+
+    This is byte-for-byte the computation the fleet schedules — the
+    determinism tests compare :func:`host_table` of this payload against
+    the table the service serves for the same params.
+    """
+    return run_unit(host_unit(params), quick=HOST_QUICK, seed=HOST_SEED)

@@ -1,0 +1,206 @@
+"""Fleet ingest protocol: JSON message shapes and strict validation.
+
+Everything that crosses the fleet service's HTTP boundary is validated
+here, in one place, so the server handlers stay thin and a malformed
+client sees a precise 400 instead of a stack trace. The protocol is
+deliberately minimal JSON:
+
+* **tenant registration** — ``{"tenant_id": "web", "workload":
+  "Netflix", "rollup": true, ...}`` (:func:`parse_tenant`)
+* **host registration** — ``{"host_id": "web-000", "tenant": "web",
+  "seed": 7, ...}`` (:func:`parse_host`)
+* **trace streaming** — NDJSON, one record per line:
+  ``{"page": 17, "t_ms": [1.5, 80.25, ...]}`` (:func:`parse_trace_line`
+  over :func:`iter_ndjson`). Records for the same page accumulate;
+  ordering across lines is irrelevant because the registry sorts at
+  seal time.
+
+``PROTOCOL_VERSION`` is echoed by the status endpoint so clients can
+detect drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from .registry import FleetError, HostSpec, TenantProfile
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_tenant",
+    "iter_ndjson",
+    "parse_host",
+    "parse_tenant",
+    "parse_trace_line",
+    "trace_lines",
+]
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A message that does not conform to the fleet protocol."""
+
+
+def _require_mapping(obj: Any, what: str) -> Mapping:
+    if not isinstance(obj, Mapping):
+        raise ProtocolError(
+            f"{what}: expected a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def _get_str(obj: Mapping, key: str, what: str, required: bool = False):
+    value = obj.get(key)
+    if value is None:
+        if required:
+            raise ProtocolError(f"{what}: missing required field {key!r}")
+        return None
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"{what}: field {key!r} must be a non-empty string")
+    return value
+
+
+def _get_number(obj: Mapping, key: str, what: str):
+    value = obj.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{what}: field {key!r} must be a number")
+    return value
+
+
+def _get_int(obj: Mapping, key: str, what: str):
+    value = obj.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{what}: field {key!r} must be an integer")
+    return value
+
+
+def _get_bool(obj: Mapping, key: str, what: str):
+    value = obj.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{what}: field {key!r} must be a boolean")
+    return value
+
+
+_TENANT_FIELDS = frozenset(
+    ("tenant_id", "workload", "duration_ms", "quantum_ms", "seed_base",
+     "rollup", "fault_screen", "description")
+)
+_HOST_FIELDS = frozenset(
+    ("host_id", "tenant", "seed", "workload", "duration_ms", "total_pages",
+     "quantum_ms", "failing_page_fraction", "rollup")
+)
+
+
+def _reject_unknown(obj: Mapping, allowed: frozenset, what: str) -> None:
+    unknown = sorted(set(obj) - allowed)
+    if unknown:
+        raise ProtocolError(f"{what}: unknown fields {unknown}")
+
+
+def parse_tenant(obj: Any) -> TenantProfile:
+    """Validate a tenant-registration message into a profile."""
+    obj = _require_mapping(obj, "tenant")
+    _reject_unknown(obj, _TENANT_FIELDS, "tenant")
+    fault_screen = obj.get("fault_screen")
+    if fault_screen is not None and not isinstance(fault_screen, Mapping):
+        raise ProtocolError("tenant: field 'fault_screen' must be an object")
+    try:
+        return TenantProfile(
+            tenant_id=_get_str(obj, "tenant_id", "tenant", required=True),
+            workload=_get_str(obj, "workload", "tenant"),
+            duration_ms=_get_number(obj, "duration_ms", "tenant"),
+            quantum_ms=_get_number(obj, "quantum_ms", "tenant"),
+            seed_base=_get_int(obj, "seed_base", "tenant") or 0,
+            rollup=bool(_get_bool(obj, "rollup", "tenant")),
+            fault_screen=dict(fault_screen) if fault_screen else None,
+            description=_get_str(obj, "description", "tenant") or "",
+        )
+    except FleetError as exc:
+        raise ProtocolError(f"tenant: {exc}") from None
+
+
+def parse_host(obj: Any) -> HostSpec:
+    """Validate a host-registration message into a spec."""
+    obj = _require_mapping(obj, "host")
+    _reject_unknown(obj, _HOST_FIELDS, "host")
+    try:
+        return HostSpec(
+            host_id=_get_str(obj, "host_id", "host", required=True),
+            tenant=_get_str(obj, "tenant", "host", required=True),
+            seed=_get_int(obj, "seed", "host"),
+            workload=_get_str(obj, "workload", "host"),
+            duration_ms=_get_number(obj, "duration_ms", "host"),
+            total_pages=_get_int(obj, "total_pages", "host"),
+            quantum_ms=_get_number(obj, "quantum_ms", "host"),
+            failing_page_fraction=_get_number(
+                obj, "failing_page_fraction", "host"),
+            rollup=_get_bool(obj, "rollup", "host"),
+        )
+    except FleetError as exc:
+        raise ProtocolError(f"host: {exc}") from None
+
+
+def parse_trace_line(obj: Any) -> Tuple[int, List[float]]:
+    """Validate one NDJSON trace record into ``(page, times_ms)``."""
+    obj = _require_mapping(obj, "trace record")
+    page = _get_int(obj, "page", "trace record")
+    if page is None:
+        raise ProtocolError("trace record: missing required field 'page'")
+    if page < 0:
+        raise ProtocolError(f"trace record: negative page {page}")
+    times = obj.get("t_ms")
+    if not isinstance(times, list) or not times:
+        raise ProtocolError(
+            "trace record: field 't_ms' must be a non-empty array")
+    out: List[float] = []
+    for value in times:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                "trace record: 't_ms' entries must be numbers")
+        if value < 0:
+            raise ProtocolError(
+                f"trace record: negative timestamp {value}")
+        out.append(float(value))
+    return page, out
+
+
+def iter_ndjson(text: str) -> Iterator[Any]:
+    """Yield parsed objects from NDJSON text; blank lines are skipped."""
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"line {number}: invalid JSON") from exc
+
+
+def trace_lines(writes: Mapping[int, Iterable[float]]) -> str:
+    """Encode a writes mapping as the NDJSON stream a client POSTs."""
+    lines = [
+        json.dumps(
+            {"page": int(page), "t_ms": [float(t) for t in times]},
+            separators=(",", ":"),
+        )
+        for page, times in sorted(writes.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def encode_tenant(profile: TenantProfile) -> Dict[str, Any]:
+    """Tenant profile as a registration message (client-side helper)."""
+    message = {
+        key: value for key, value in profile.to_dict().items()
+        if value not in (None, "", False, 0)
+    }
+    message["tenant_id"] = profile.tenant_id
+    return message

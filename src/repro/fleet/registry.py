@@ -1,0 +1,353 @@
+"""Fleet host/tenant registry: who exists, what they streamed, how far.
+
+The registry is the service's single source of truth for identity and
+lifecycle. Tenants are registered first and carry the defaults (workload,
+window, MEMCON quantum, fault-screen budget, rollup flag) their hosts
+inherit; hosts override per field. A host accumulates streamed write
+records while ``registered``, is snapshotted into an immutable params
+dict at :meth:`HostRegistry.seal` time (the exact dict the work unit
+carries — determinism flows from here), and finishes ``done`` or
+``failed`` when the scheduler reports back.
+
+All mutation goes through one re-entrant lock: the asyncio server and
+the scheduler's dispatch thread touch the registry concurrently, and a
+consistent snapshot matters more than lock granularity at fleet sizes
+of thousands of hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..traces.workloads import WORKLOADS
+
+__all__ = [
+    "HOST_STATUSES",
+    "FleetError",
+    "HostSpec",
+    "HostState",
+    "HostRegistry",
+    "TenantProfile",
+]
+
+HOST_STATUSES = ("registered", "sealed", "done", "failed")
+
+
+class FleetError(ValueError):
+    """Invalid registration, ingest, or lifecycle transition."""
+
+
+@dataclass
+class TenantProfile:
+    """Per-tenant defaults inherited by every host of the tenant."""
+
+    tenant_id: str
+    workload: Optional[str] = None
+    duration_ms: Optional[float] = None
+    quantum_ms: Optional[float] = None
+    seed_base: int = 0
+    rollup: bool = False
+    fault_screen: Optional[Dict[str, Any]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise FleetError("tenant_id must be non-empty")
+        if self.workload is not None and self.workload not in WORKLOADS:
+            raise FleetError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {sorted(WORKLOADS)}"
+            )
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise FleetError("duration_ms must be positive")
+        if self.quantum_ms is not None and self.quantum_ms <= 0:
+            raise FleetError("quantum_ms must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant_id": self.tenant_id,
+            "workload": self.workload,
+            "duration_ms": self.duration_ms,
+            "quantum_ms": self.quantum_ms,
+            "seed_base": self.seed_base,
+            "rollup": self.rollup,
+            "fault_screen": self.fault_screen,
+            "description": self.description,
+        }
+
+
+@dataclass
+class HostSpec:
+    """One host registration; ``None`` fields inherit tenant defaults."""
+
+    host_id: str
+    tenant: str
+    seed: Optional[int] = None
+    workload: Optional[str] = None
+    duration_ms: Optional[float] = None
+    total_pages: Optional[int] = None
+    quantum_ms: Optional[float] = None
+    failing_page_fraction: Optional[float] = None
+    rollup: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.host_id:
+            raise FleetError("host_id must be non-empty")
+        if not self.tenant:
+            raise FleetError("tenant must be non-empty")
+        if self.workload is not None and self.workload not in WORKLOADS:
+            raise FleetError(
+                f"unknown workload {self.workload!r}; "
+                f"available: {sorted(WORKLOADS)}"
+            )
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise FleetError("duration_ms must be positive")
+        if self.total_pages is not None and self.total_pages <= 0:
+            raise FleetError("total_pages must be positive")
+
+
+def host_seed(spec: HostSpec, tenant: TenantProfile) -> int:
+    """Deterministic per-host seed: explicit, else derived from identity.
+
+    The derivation hashes the host id (CRC32) into the tenant's seed
+    base, so re-registering the same host under the same tenant always
+    simulates the same chip — re-runs are reproducible with no
+    coordination beyond the names.
+    """
+    if spec.seed is not None:
+        return int(spec.seed)
+    return int(tenant.seed_base) ^ zlib.crc32(spec.host_id.encode("utf-8"))
+
+
+@dataclass
+class HostState:
+    """Lifecycle record of one host inside a running service."""
+
+    spec: HostSpec
+    status: str = "registered"
+    #: Streamed writes accumulated before seal: page -> [t_ms, ...].
+    writes: Dict[int, List[float]] = field(default_factory=dict)
+    ingest_records: int = 0
+    #: Frozen unit params (set at seal; identical to the WorkUnit's).
+    params: Optional[Dict[str, Any]] = None
+    payload: Optional[Dict[str, Any]] = None
+    table: Optional[str] = None
+    wall_s: Optional[float] = None
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "host": self.spec.host_id,
+            "tenant": self.spec.tenant,
+            "status": self.status,
+            "ingest_records": self.ingest_records,
+            "streamed_pages": len(self.writes),
+        }
+        if self.error is not None:
+            entry["error"] = self.error
+        if self.payload is not None:
+            report = self.payload["report"]
+            entry["refresh_reduction"] = report["refresh_reduction"]
+            entry["lo_ref_time_fraction"] = report["lo_ref_time_fraction"]
+            entry["tests_total"] = report["tests_total"]
+        if self.wall_s is not None:
+            entry["wall_s"] = self.wall_s
+        return entry
+
+
+class HostRegistry:
+    """Thread-safe tenant/host store backing the fleet service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._tenants: Dict[str, TenantProfile] = {}
+        self._hosts: Dict[str, HostState] = {}
+
+    # -- registration --------------------------------------------------
+    def add_tenant(self, profile: TenantProfile) -> None:
+        with self._lock:
+            if profile.tenant_id in self._tenants:
+                raise FleetError(
+                    f"tenant {profile.tenant_id!r} already registered")
+            self._tenants[profile.tenant_id] = profile
+
+    def add_host(self, spec: HostSpec) -> HostState:
+        with self._lock:
+            if spec.tenant not in self._tenants:
+                raise FleetError(f"unknown tenant {spec.tenant!r}")
+            if spec.host_id in self._hosts:
+                raise FleetError(f"host {spec.host_id!r} already registered")
+            state = HostState(spec=spec)
+            self._hosts[spec.host_id] = state
+            return state
+
+    def tenant(self, tenant_id: str) -> TenantProfile:
+        with self._lock:
+            try:
+                return self._tenants[tenant_id]
+            except KeyError:
+                raise FleetError(f"unknown tenant {tenant_id!r}") from None
+
+    def _host(self, host_id: str) -> HostState:
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise FleetError(f"unknown host {host_id!r}") from None
+
+    # -- ingest --------------------------------------------------------
+    def append_writes(
+        self, host_id: str, page: int, times: List[float]
+    ) -> int:
+        """Accumulate one streamed trace record; returns records so far."""
+        with self._lock:
+            state = self._host(host_id)
+            if state.status != "registered":
+                raise FleetError(
+                    f"host {host_id!r} is {state.status}; "
+                    "trace ingest is only valid before seal"
+                )
+            state.writes.setdefault(int(page), []).extend(
+                float(t) for t in times
+            )
+            state.ingest_records += 1
+            return state.ingest_records
+
+    # -- lifecycle -----------------------------------------------------
+    def seal(self, host_id: str) -> Dict[str, Any]:
+        """Freeze a host's simulation params and mark it sealed.
+
+        Returns the params dict the scheduler turns into a work unit.
+        Streamed hosts must declare ``total_pages`` and ``duration_ms``
+        (directly or via the tenant); workload hosts fall back to the
+        profile's own footprint and window.
+        """
+        with self._lock:
+            state = self._host(host_id)
+            if state.status != "registered":
+                raise FleetError(
+                    f"host {host_id!r} is {state.status}; cannot seal")
+            spec = state.spec
+            tenant = self.tenant(spec.tenant)
+            params: Dict[str, Any] = {
+                "host": spec.host_id,
+                "tenant": spec.tenant,
+                "seed": host_seed(spec, tenant),
+            }
+            duration = (
+                spec.duration_ms if spec.duration_ms is not None
+                else tenant.duration_ms
+            )
+            if duration is not None:
+                params["duration_ms"] = float(duration)
+            quantum = (
+                spec.quantum_ms if spec.quantum_ms is not None
+                else tenant.quantum_ms
+            )
+            if quantum is not None:
+                params["quantum_ms"] = float(quantum)
+            if state.writes:
+                if duration is None:
+                    raise FleetError(
+                        f"host {host_id!r} streamed a trace but has no "
+                        "duration_ms (set it on the host or tenant)"
+                    )
+                if spec.total_pages is None:
+                    raise FleetError(
+                        f"host {host_id!r} streamed a trace but has no "
+                        "total_pages"
+                    )
+                params["writes"] = {
+                    str(page): sorted(times)
+                    for page, times in sorted(state.writes.items())
+                }
+                params["total_pages"] = int(spec.total_pages)
+            else:
+                workload = spec.workload or tenant.workload
+                if workload is None:
+                    raise FleetError(
+                        f"host {host_id!r} has neither streamed writes "
+                        "nor a workload (set one on the host or tenant)"
+                    )
+                params["workload"] = workload
+            if spec.failing_page_fraction is not None:
+                params["failing_page_fraction"] = float(
+                    spec.failing_page_fraction)
+            elif tenant.fault_screen is not None:
+                params["fault_screen"] = dict(tenant.fault_screen)
+            rollup = spec.rollup if spec.rollup is not None else tenant.rollup
+            if rollup:
+                params["rollup"] = True
+            state.params = params
+            state.status = "sealed"
+            return dict(params)
+
+    def complete(
+        self, host_id: str, payload: Dict[str, Any], table: str,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        with self._lock:
+            state = self._host(host_id)
+            state.payload = payload
+            state.table = table
+            state.wall_s = wall_s
+            state.status = "done"
+
+    def fail(self, host_id: str, error: str) -> None:
+        with self._lock:
+            state = self._host(host_id)
+            state.error = error
+            state.status = "failed"
+
+    # -- views ---------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {status: 0 for status in HOST_STATUSES}
+            for state in self._hosts.values():
+                counts[state.status] += 1
+            counts["total"] = len(self._hosts)
+            counts["tenants"] = len(self._tenants)
+            return counts
+
+    def all_done(self) -> bool:
+        """Every registered host reached a terminal state (none pending)."""
+        with self._lock:
+            return bool(self._hosts) and all(
+                state.status in ("done", "failed")
+                for state in self._hosts.values()
+            )
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                profile.to_dict()
+                for _, profile in sorted(self._tenants.items())
+            ]
+
+    def hosts(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                state.summary() for _, state in sorted(self._hosts.items())
+            ]
+
+    def host_detail(self, host_id: str) -> Dict[str, Any]:
+        with self._lock:
+            state = self._host(host_id)
+            entry = state.summary()
+            if state.params is not None:
+                entry["params"] = dict(state.params)
+            if state.payload is not None:
+                entry["payload"] = state.payload
+            return entry
+
+    def host_table(self, host_id: str) -> str:
+        with self._lock:
+            state = self._host(host_id)
+            if state.table is None:
+                raise FleetError(
+                    f"host {host_id!r} has no table yet "
+                    f"(status: {state.status})"
+                )
+            return state.table

@@ -1,0 +1,423 @@
+"""Asyncio fleet service: HTTP/JSON ingest and live status endpoints.
+
+The server is a minimal hand-rolled HTTP/1.1 implementation over
+``asyncio.start_server`` — the container has no third-party HTTP stack,
+and the protocol surface (request line, headers, Content-Length body,
+``Connection: close``) is small enough that owning it keeps the service
+dependency-free. Handlers parse/validate through :mod:`.protocol`,
+mutate the thread-safe :class:`~repro.fleet.registry.HostRegistry`, and
+enqueue work on the :class:`~repro.fleet.scheduler.FleetScheduler`; the
+scheduler's dispatch thread reports results straight back into the
+registry and :class:`~repro.fleet.aggregator.FleetAggregator`, so the
+event loop never blocks on simulation.
+
+Routes (all JSON unless noted)::
+
+    GET  /healthz                 liveness probe
+    GET  /v1/status               fleet rollups + queue + cache info
+    GET  /v1/manifest             full run-manifest document
+    GET  /v1/tenants              registered tenant profiles
+    POST /v1/tenants              register a tenant
+    GET  /v1/hosts                host summaries
+    POST /v1/hosts                register a host
+    POST /v1/hosts/{id}/trace     NDJSON write-trace ingest (appends)
+    POST /v1/hosts/{id}/seal      freeze params + enqueue simulation
+    GET  /v1/hosts/{id}           host detail (params, payload)
+    GET  /v1/hosts/{id}/table     canonical text table (text/plain)
+    POST /v1/jobs                 run a named paper experiment
+    POST /v1/shutdown             drain and stop the service
+
+:class:`FleetService` composes registry + scheduler + aggregator +
+server and owns the callback wiring; it is what ``python -m
+repro.fleet.serve``, the smoke driver, and the tests all run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .. import obs
+from ..traces.generator import trace_cache_info
+from . import hostsim, protocol
+from .aggregator import FleetAggregator
+from .registry import FleetError, HostRegistry
+from .scheduler import FleetScheduler
+
+__all__ = ["FleetHTTPServer", "FleetService", "run_service_in_thread"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class FleetService:
+    """Registry + scheduler + aggregator wired into one lifecycle."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        batch_max: int = 32,
+        unit_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+    ) -> None:
+        self.registry = HostRegistry()
+        self.aggregator = FleetAggregator()
+        self.scheduler = FleetScheduler(
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            batch_max=batch_max,
+            unit_timeout_s=unit_timeout_s,
+            max_retries=max_retries,
+            on_host_result=self._host_result,
+            on_host_error=self._host_error,
+            on_job_done=self._job_done,
+        )
+        self.jobs: Dict[str, Dict[str, Any]] = {}
+        self._jobs_lock = threading.Lock()
+        self._config = {
+            "jobs": jobs, "checkpoint": checkpoint, "resume": resume,
+            "batch_max": batch_max,
+        }
+
+    # -- scheduler callbacks (dispatch thread) -------------------------
+    def _host_result(
+        self, host_id: str, payload: Dict[str, Any], wall_s: float
+    ) -> None:
+        table = hostsim.host_table(payload)
+        self.registry.complete(host_id, payload, table, wall_s)
+        self.aggregator.host_done(payload, wall_s)
+        self.aggregator.note_metrics(obs.get_registry().snapshot())
+        registry = obs.get_registry()
+        registry.counter("fleet.hosts_done").inc()
+        registry.gauge("fleet.ingest_backlog").set(self.scheduler.backlog())
+
+    def _host_error(self, host_id: str, error: str) -> None:
+        try:
+            tenant = self.registry.host_detail(host_id)["tenant"]
+        except FleetError:
+            tenant = "?"
+        self.registry.fail(host_id, error)
+        self.aggregator.host_failed(tenant)
+        obs.get_registry().counter("fleet.hosts_failed").inc()
+
+    def _job_done(self, job_id: str, result: Any, wall_s: float) -> None:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                return
+            if isinstance(result, Exception):
+                job["status"] = "failed"
+                job["error"] = repr(result)
+            else:
+                job["status"] = "done"
+                job["table"] = result.to_text()
+            job["wall_s"] = wall_s
+
+    # -- views ---------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "hosts": self.registry.counts(),
+            "all_done": self.registry.all_done(),
+            "queue": {
+                "backlog": self.scheduler.backlog(),
+                **self.scheduler.stats.to_dict(),
+            },
+            "trace_cache": trace_cache_info(),
+            "fleet": self.aggregator.to_dict(),
+        }
+
+    def manifest(self) -> Dict[str, Any]:
+        """A run-manifest document with the fleet section attached."""
+        manifest = obs.RunManifest.start(
+            ["fleet"], seed=0, quick=True, config=dict(self._config),
+        )
+        manifest.metrics = obs.get_registry().snapshot()
+        manifest.fleet = self.aggregator.to_dict()
+        return manifest.to_dict()
+
+    def close(self, wait: bool = True) -> None:
+        self.scheduler.close(wait=wait)
+
+
+class FleetHTTPServer:
+    """The HTTP face of a :class:`FleetService`."""
+
+    def __init__(
+        self,
+        service: FleetService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.shutdown_event: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        self.shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("fleet service listening on %s:%d", self.host, self.port)
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._server is not None and self.shutdown_event is not None
+        async with self._server:
+            await self.shutdown_event.wait()
+
+    # -- one connection ------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body, content_type = await self._respond(reader)
+        except Exception:
+            logger.exception("fleet request handler crashed")
+            status, body, content_type = (
+                500, json.dumps({"error": "internal error"}), "application/json")
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, str, str]:
+        try:
+            method, path, body = await self._read_request(reader)
+        except _HttpError as exc:
+            return (
+                exc.status,
+                json.dumps({"error": exc.message}),
+                "application/json",
+            )
+        try:
+            result = self._route(method, path, body)
+        except _HttpError as exc:
+            return (
+                exc.status,
+                json.dumps({"error": exc.message}),
+                "application/json",
+            )
+        except (protocol.ProtocolError, FleetError) as exc:
+            return 400, json.dumps({"error": str(exc)}), "application/json"
+        if isinstance(result, str):
+            return 200, result, "text/plain"
+        return 200, json.dumps(result, indent=2), "application/json"
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, str]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length") from None
+        if content_length > _MAX_REQUEST_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = b""
+        if content_length:
+            body = await reader.readexactly(content_length)
+        return method, path, body.decode("utf-8")
+
+    # -- routing -------------------------------------------------------
+    def _json_body(self, body: str) -> Any:
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError:
+            raise _HttpError(400, "request body is not valid JSON") from None
+
+    def _route(self, method: str, path: str, body: str):
+        service = self.service
+        if path == "/healthz" and method == "GET":
+            return {"ok": True}
+        if path == "/v1/status" and method == "GET":
+            return service.status()
+        if path == "/v1/manifest" and method == "GET":
+            return service.manifest()
+        if path == "/v1/tenants":
+            if method == "GET":
+                return {"tenants": service.registry.tenants()}
+            if method == "POST":
+                profile = protocol.parse_tenant(self._json_body(body))
+                service.registry.add_tenant(profile)
+                return {"registered": profile.tenant_id}
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path == "/v1/hosts":
+            if method == "GET":
+                return {"hosts": service.registry.hosts()}
+            if method == "POST":
+                spec = protocol.parse_host(self._json_body(body))
+                service.registry.add_host(spec)
+                return {"registered": spec.host_id}
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit_job(self._json_body(body))
+        if path == "/v1/shutdown" and method == "POST":
+            assert self.shutdown_event is not None
+            self.shutdown_event.set()
+            return {"shutting_down": True}
+        if path.startswith("/v1/hosts/"):
+            return self._route_host(method, path[len("/v1/hosts/"):], body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job_id = path[len("/v1/jobs/"):]
+            with service._jobs_lock:
+                job = service.jobs.get(job_id)
+                if job is None:
+                    raise _HttpError(404, f"unknown job {job_id!r}")
+                return dict(job)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _route_host(self, method: str, rest: str, body: str):
+        service = self.service
+        host_id, _, action = rest.partition("/")
+        if not host_id:
+            raise _HttpError(404, "missing host id")
+        try:
+            if not action:
+                if method != "GET":
+                    raise _HttpError(405, "host detail is GET-only")
+                return service.registry.host_detail(host_id)
+            if action == "table":
+                if method != "GET":
+                    raise _HttpError(405, "host table is GET-only")
+                return service.registry.host_table(host_id)
+            if action == "trace":
+                if method != "POST":
+                    raise _HttpError(405, "trace ingest is POST-only")
+                return self._ingest_trace(host_id, body)
+            if action == "seal":
+                if method != "POST":
+                    raise _HttpError(405, "seal is POST-only")
+                params = service.registry.seal(host_id)
+                service.scheduler.submit_host(params)
+                backlog = service.scheduler.backlog()
+                obs.get_registry().gauge("fleet.ingest_backlog").set(backlog)
+                return {"sealed": host_id, "backlog": backlog}
+        except FleetError as exc:
+            unknown = str(exc).startswith("unknown host")
+            raise _HttpError(404 if unknown else 400, str(exc)) from None
+        raise _HttpError(404, f"no host action {action!r}")
+
+    def _ingest_trace(self, host_id: str, body: str) -> Dict[str, Any]:
+        service = self.service
+        records = 0
+        for obj in protocol.iter_ndjson(body):
+            page, times = protocol.parse_trace_line(obj)
+            service.registry.append_writes(host_id, page, times)
+            records += 1
+        obs.get_registry().counter("fleet.ingest_records").inc(records)
+        service.aggregator.note_ingest(
+            records, service.scheduler.backlog())
+        return {"host": host_id, "records": records}
+
+    def _submit_job(self, obj: Any) -> Dict[str, Any]:
+        service = self.service
+        if not isinstance(obj, dict):
+            raise _HttpError(400, "job request must be a JSON object")
+        name = obj.get("experiment")
+        if not isinstance(name, str) or not name:
+            raise _HttpError(400, "job request needs an 'experiment' name")
+        quick = obj.get("quick", True)
+        seed = obj.get("seed", 1)
+        if not isinstance(quick, bool) or isinstance(seed, bool) \
+                or not isinstance(seed, int):
+            raise _HttpError(400, "'quick' must be a bool, 'seed' an int")
+        with service._jobs_lock:
+            job_id = f"job-{len(service.jobs):04d}-{name}"
+            service.jobs[job_id] = {
+                "job_id": job_id, "experiment": name,
+                "quick": quick, "seed": seed, "status": "queued",
+            }
+        try:
+            service.scheduler.submit_experiment(
+                job_id, name, quick=quick, seed=seed)
+        except KeyError as exc:
+            with service._jobs_lock:
+                del service.jobs[job_id]
+            raise _HttpError(400, f"unknown experiment: {exc}") from None
+        return {"job_id": job_id}
+
+
+# ----------------------------------------------------------------------
+async def _run_async(
+    service: FleetService,
+    server: FleetHTTPServer,
+    started: Optional[threading.Event] = None,
+) -> None:
+    await server.start()
+    if started is not None:
+        started.set()
+    await server.serve_until_shutdown()
+
+
+def run_service_in_thread(
+    service: FleetService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[FleetHTTPServer, threading.Thread]:
+    """Run the HTTP server on a background event-loop thread.
+
+    Used by the smoke driver and tests: the caller keeps the main thread
+    for a synchronous client. Returns after the port is bound; join the
+    thread after POSTing ``/v1/shutdown``.
+    """
+    server = FleetHTTPServer(service, host=host, port=port)
+    started = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_run_async(service, server, started)),
+        name="fleet-server",
+        daemon=True,
+    )
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("fleet server failed to start within 30s")
+    return server, thread

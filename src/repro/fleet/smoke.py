@@ -1,0 +1,173 @@
+"""End-to-end fleet smoke: a small datacenter through the full stack.
+
+``python -m repro.fleet.smoke --hosts 8 --out fleet-smoke/`` boots the
+service on an ephemeral port, registers two tenant profiles, streams
+half the hosts' write traces over NDJSON (the other half run tenant
+workloads server-side), waits for the status endpoint to report the
+fleet done, and then **proves the determinism contract**: every table
+served by the fleet must be byte-identical to re-simulating the host's
+sealed params standalone via :func:`repro.fleet.hostsim.run_host`.
+
+Artifacts written to ``--out``: ``manifest.json`` (run manifest with the
+``"fleet"`` section), ``dashboard.html`` (must contain the fleet
+section), ``tables/<host>.txt``. Exit status is non-zero on any check
+failure — this is the CI ``fleet-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .. import obs
+from ..obs.dashboard import render_dashboard
+from ..traces.generator import generate_trace
+from ..traces.workloads import WORKLOADS
+from . import hostsim
+from .client import FleetClient
+from .server import FleetService, run_service_in_thread
+
+__all__ = ["main"]
+
+#: Streamed-tenant fault screen: small budget so the smoke also
+#: exercises the row-block LRU under ingest (see dram/faults.py).
+_BATCH_SCREEN = {
+    "max_resident_rows": 128,
+    "chunk_rows": 64,
+    "bits_per_row": 512,
+    "vulnerable_cell_rate": 5.0e-4,
+}
+
+
+class SmokeFailure(RuntimeError):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.smoke",
+        description="End-to-end fleet service smoke test.",
+    )
+    parser.add_argument("--hosts", type=int, default=8)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--out", default="fleet-smoke")
+    parser.add_argument("--duration-ms", type=float, default=8192.0)
+    args = parser.parse_args(argv)
+    _check(args.hosts >= 2, "--hosts must be >= 2 (need both tenants)")
+
+    os.makedirs(args.out, exist_ok=True)
+    obs.set_registry(obs.MetricsRegistry(enabled=True))
+    service = FleetService(
+        jobs=args.jobs,
+        checkpoint=os.path.join(args.out, "fleet.ckpt"),
+    )
+    server, thread = run_service_in_thread(service)
+    client = FleetClient(port=server.port)
+    try:
+        # -- register two tenant profiles ------------------------------
+        client.register_tenant({
+            "tenant_id": "web",
+            "workload": "Netflix",
+            "duration_ms": args.duration_ms,
+            "seed_base": 11,
+            "rollup": True,
+            "description": "server-side workload hosts with rollups",
+        })
+        client.register_tenant({
+            "tenant_id": "batch",
+            "duration_ms": args.duration_ms,
+            "seed_base": 23,
+            "fault_screen": dict(_BATCH_SCREEN),
+            "description": "streamed-trace hosts with a fault screen",
+        })
+
+        # -- register hosts; stream traces for the batch tenant --------
+        web_hosts = [f"web-{i:03d}" for i in range((args.hosts + 1) // 2)]
+        batch_hosts = [f"batch-{i:03d}" for i in range(args.hosts // 2)]
+        for host_id in web_hosts:
+            client.register_host({"host_id": host_id, "tenant": "web"})
+        streamed = 0
+        for i, host_id in enumerate(batch_hosts):
+            trace = generate_trace(
+                WORKLOADS["SystemMgt"], seed=100 + i,
+                duration_ms=args.duration_ms,
+            )
+            client.register_host({
+                "host_id": host_id,
+                "tenant": "batch",
+                "total_pages": trace.total_pages,
+            })
+            streamed += client.stream_trace(host_id, trace.writes)
+        print(f"registered {args.hosts} hosts "
+              f"({len(batch_hosts)} streamed, {streamed} trace records)")
+
+        for host_id in web_hosts + batch_hosts:
+            client.seal(host_id)
+
+        # -- wait on the status endpoint -------------------------------
+        status = client.wait_all_done(timeout_s=600.0)
+        counts = status["hosts"]
+        _check(counts["done"] == args.hosts,
+               f"expected {args.hosts} hosts done, got {counts}")
+        _check(counts["failed"] == 0, f"hosts failed: {counts}")
+        _check(status["fleet"]["ingest"]["records"] == streamed,
+               "ingest accounting does not match streamed records")
+        print(f"fleet done: {counts}")
+
+        # -- determinism: fleet tables == standalone runner ------------
+        tables_dir = os.path.join(args.out, "tables")
+        os.makedirs(tables_dir, exist_ok=True)
+        for host_id in web_hosts + batch_hosts:
+            detail = client.host_detail(host_id)
+            served = client.host_table(host_id)
+            standalone = hostsim.host_table(
+                hostsim.run_host(detail["params"]))
+            _check(served == standalone,
+                   f"host {host_id}: fleet table differs from "
+                   "standalone runner")
+            with open(os.path.join(tables_dir, f"{host_id}.txt"),
+                      "w", encoding="utf-8") as handle:
+                handle.write(served)
+        print(f"{args.hosts} host tables byte-identical to the "
+              "standalone runner")
+
+        # -- artifacts: manifest + dashboard ---------------------------
+        manifest = client.manifest()
+        _check(manifest.get("fleet", {}).get("hosts", {}).get("done")
+               == args.hosts, "manifest fleet section lost hosts")
+        manifest_path = os.path.join(args.out, "manifest.json")
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        html = render_dashboard(manifest)
+        _check("<h2>Fleet</h2>" in html,
+               "dashboard did not render the fleet section")
+        with open(os.path.join(args.out, "dashboard.html"),
+                  "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"artifacts in {args.out}/: manifest.json, dashboard.html, "
+              f"tables/ ({args.hosts} files)")
+    except SmokeFailure as exc:
+        print(f"FLEET SMOKE FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        try:
+            client.shutdown()
+        except Exception:
+            pass
+        thread.join(timeout=30)
+        service.close(wait=True)
+    print("fleet smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

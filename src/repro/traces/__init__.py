@@ -2,7 +2,14 @@
 
 from .content import ContentProfile, ROW_GENERATORS, bit_density
 from .events import WriteTrace
-from .generator import generate_page_writes, generate_trace, pareto_gaps
+from .generator import (
+    clear_trace_cache,
+    generate_page_writes,
+    generate_trace,
+    pareto_gaps,
+    set_trace_cache_limit,
+    trace_cache_info,
+)
 from .io import load_trace, save_trace
 from .phases import ContentSnapshot, ContentTrace, generate_content_trace
 from .spec import (
@@ -35,8 +42,11 @@ __all__ = [
     "WriteTrace",
     "benchmark_names",
     "bit_density",
+    "clear_trace_cache",
     "generate_page_writes",
     "generate_trace",
+    "set_trace_cache_limit",
+    "trace_cache_info",
     "get_benchmark",
     "get_workload",
     "load_trace",

@@ -13,10 +13,12 @@ Figure 8 while keeping per-page write counts realistic.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from .content import name_seed
 from .events import WriteTrace
 from .workloads import WorkloadProfile
@@ -79,12 +81,65 @@ def generate_page_writes(
     return np.concatenate(chunks)
 
 
-#: Deterministic traces keyed by (profile fields, seed, window). Every
-#: figure experiment regenerates the same dozen traces from the same
-#: inputs; caching makes the repeats free. Consumers treat returned
+#: Deterministic traces keyed by (profile type + fields, seed, window).
+#: Every figure experiment regenerates the same dozen traces from the
+#: same inputs; caching makes the repeats free. Consumers treat returned
 #: traces as immutable (nothing in the repo mutates a WriteTrace).
-_TRACE_CACHE: Dict[tuple, WriteTrace] = {}
+#: The cache is a true LRU (hits refresh recency) with a configurable
+#: limit — fleet runs cycle through many per-tenant profiles, so the
+#: resident set must be boundable (and growable) per deployment.
+_TRACE_CACHE: "OrderedDict[tuple, WriteTrace]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 32
+
+
+def set_trace_cache_limit(limit: int) -> int:
+    """Set the trace-cache capacity; returns the previous limit.
+
+    ``0`` disables caching entirely (and clears the cache); shrinking
+    below the current population evicts least-recently-used traces.
+    """
+    global _TRACE_CACHE_LIMIT
+    if limit < 0:
+        raise ValueError("trace cache limit must be >= 0")
+    previous = _TRACE_CACHE_LIMIT
+    _TRACE_CACHE_LIMIT = limit
+    while len(_TRACE_CACHE) > limit:
+        _TRACE_CACHE.popitem(last=False)
+    return previous
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Current size/limit of the trace cache (for status endpoints)."""
+    return {"size": len(_TRACE_CACHE), "limit": _TRACE_CACHE_LIMIT}
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()
+
+
+def _cache_key(
+    profile: WorkloadProfile, seed: int, window: float
+) -> Optional[tuple]:
+    """Defensive cache key: type + every field + normalized seed/window.
+
+    Including the concrete type guards against two profile classes whose
+    fields happen to collide; subclasses and non-dataclass stand-ins
+    (whose extra state ``astuple`` would miss) and unhashable field
+    values opt out of caching instead of aliasing someone else's trace.
+    """
+    if type(profile) is not WorkloadProfile:
+        return None
+    try:
+        key = (
+            type(profile).__qualname__,
+            dataclasses.astuple(profile),
+            int(seed),
+            float(window),
+        )
+        hash(key)
+    except (TypeError, ValueError):
+        return None
+    return key
 
 
 def generate_trace(
@@ -98,10 +153,14 @@ def generate_trace(
     the seed and the window, and the cache key covers all three.
     """
     window = duration_ms if duration_ms is not None else profile.duration_ms
-    key = (dataclasses.astuple(profile), seed, window)
-    cached = _TRACE_CACHE.get(key)
+    registry = obs.get_registry()
+    key = _cache_key(profile, seed, window) if _TRACE_CACHE_LIMIT else None
+    cached = _TRACE_CACHE.get(key) if key is not None else None
     if cached is not None:
+        _TRACE_CACHE.move_to_end(key)
+        registry.counter("traces.cache_hits").inc()
         return cached
+    registry.counter("traces.cache_misses").inc()
     rng = np.random.default_rng((seed << 16) ^ name_seed(profile.name))
 
     n_written = int(round(profile.n_pages * profile.written_page_fraction))
@@ -135,7 +194,9 @@ def generate_trace(
         total_pages=profile.n_pages,
         name=profile.name,
     )
-    if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
-        _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
-    _TRACE_CACHE[key] = trace
+    if key is not None:
+        while len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.popitem(last=False)
+        _TRACE_CACHE[key] = trace
+        registry.gauge("traces.cache_size").set(len(_TRACE_CACHE))
     return trace

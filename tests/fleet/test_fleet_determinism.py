@@ -1,0 +1,100 @@
+"""Fleet determinism properties (the ISSUE acceptance gates).
+
+A host simulated through the fleet — any job count, any batching — must
+produce byte-identical tables to the standalone runner, and paper
+experiments scheduled through the fleet must match their serial output.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet import hostsim
+from repro.fleet.scheduler import FleetScheduler
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.units import decompose, execute_unit, merge_payloads
+
+
+def host_params(host_id, seed, workload=None):
+    params = {
+        "host": host_id, "tenant": "t", "seed": seed,
+        "duration_ms": 2048.0,
+    }
+    if workload:
+        params["workload"] = workload
+    else:
+        params.update(
+            total_pages=64,
+            writes={
+                "1": [10.0, 600.0, 1500.0],
+                "9": [5.0, 1800.0],
+                "33": [100.0, 101.0, 102.0, 1200.0],
+            },
+        )
+    return params
+
+
+FLEET_PARAMS = [
+    host_params("w0", 1, workload="Netflix"),
+    host_params("w1", 2, workload="SystemMgt"),
+    host_params("s0", 3),
+    host_params("s1", 4),
+]
+
+
+class TestHostsAcrossJobCounts:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_fleet_tables_match_standalone(self, jobs):
+        results = {}
+        lock = threading.Lock()
+
+        def collect(host_id, payload, wall_s):
+            with lock:
+                results[host_id] = payload
+
+        with FleetScheduler(
+            jobs=jobs, batch_max=3, on_host_result=collect
+        ) as scheduler:
+            for params in FLEET_PARAMS:
+                scheduler.submit_host(dict(params))
+            assert scheduler.join(timeout=600)
+        assert sorted(results) == sorted(p["host"] for p in FLEET_PARAMS)
+        for params in FLEET_PARAMS:
+            standalone = hostsim.run_host(dict(params))
+            fleet_payload = results[params["host"]]
+            assert fleet_payload == standalone
+            assert (hostsim.host_table(fleet_payload)
+                    == hostsim.host_table(standalone))
+
+
+def serial_table(name):
+    units = decompose(name, quick=True, seed=1)
+    payloads = [execute_unit(u, quick=True, seed=1) for u in units]
+    return merge_payloads(name, payloads, quick=True, seed=1).to_text()
+
+
+class TestExperimentsThroughFleet:
+    @pytest.mark.parametrize("name", ["fig04", "hammer01"])
+    def test_fleet_job_matches_serial_and_pool(self, name):
+        serial = serial_table(name)
+
+        # The runner's own parallel path at --jobs 2...
+        units = decompose(name, quick=True, seed=1)
+        with ParallelExecutor(2, quick=True, seed=1) as executor:
+            payloads, _stats = executor.run_units(units)
+        pooled = merge_payloads(
+            name, payloads, quick=True, seed=1).to_text()
+        assert pooled == serial
+
+        # ...and the fleet scheduler must both reproduce serial bytes.
+        jobs = {}
+        with FleetScheduler(
+            jobs=2,
+            on_job_done=lambda job_id, result, wall: jobs.update(
+                {job_id: result}),
+        ) as scheduler:
+            scheduler.submit_experiment("j0", name, quick=True, seed=1)
+            assert scheduler.join(timeout=600)
+        result = jobs["j0"]
+        assert not isinstance(result, Exception)
+        assert result.to_text() == serial

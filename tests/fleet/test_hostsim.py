@@ -1,0 +1,165 @@
+"""Host-unit simulation: determinism, fault screen, tables."""
+
+import pytest
+
+from repro.fleet import hostsim
+from repro.parallel.units import decompose, execute_unit
+from repro.traces.generator import generate_trace
+from repro.traces.workloads import WORKLOADS
+
+WORKLOAD_PARAMS = {
+    "host": "h0", "tenant": "t", "seed": 7,
+    "workload": "Netflix", "duration_ms": 2048.0,
+}
+
+STREAM_PARAMS = {
+    "host": "s0", "tenant": "t", "seed": 3,
+    "duration_ms": 2048.0, "total_pages": 64,
+    "writes": {
+        "1": [10.0, 600.0, 1500.0],
+        "7": [100.0],
+        "40": [5.0, 5.5, 6.0, 1800.0],
+    },
+}
+
+
+class TestHostUnit:
+    def test_requires_identity(self):
+        with pytest.raises(ValueError, match="missing"):
+            hostsim.host_unit({"host": "h0"})
+
+    def test_requires_trace_source(self):
+        with pytest.raises(ValueError, match="neither a workload"):
+            hostsim.host_unit({"host": "h0", "tenant": "t", "seed": 1})
+
+    def test_unit_round_trips_through_registry(self):
+        unit = hostsim.host_unit(dict(WORKLOAD_PARAMS), seq=2)
+        assert unit.experiment == hostsim.EXPERIMENT
+        assert unit.module == "repro.fleet.hostsim"
+        assert unit.seq == 2
+        payload = execute_unit(
+            unit, quick=hostsim.HOST_QUICK, seed=hostsim.HOST_SEED)
+        assert payload == hostsim.run_host(dict(WORKLOAD_PARAMS))
+
+    def test_static_decomposition_is_empty(self):
+        assert decompose("fleet_host", quick=True, seed=1) == []
+
+
+class TestDeterminism:
+    def test_workload_host_repeats_bitwise(self):
+        a = hostsim.run_host(dict(WORKLOAD_PARAMS))
+        b = hostsim.run_host(dict(WORKLOAD_PARAMS))
+        assert a == b
+        assert hostsim.host_table(a) == hostsim.host_table(b)
+
+    def test_streamed_host_repeats_bitwise(self):
+        a = hostsim.run_host(dict(STREAM_PARAMS))
+        b = hostsim.run_host(dict(STREAM_PARAMS))
+        assert a == b
+
+    def test_streamed_trace_equals_workload_trace(self):
+        """Streaming a generated trace reproduces the workload path."""
+        trace = generate_trace(
+            WORKLOADS["Netflix"], seed=7, duration_ms=2048.0)
+        streamed = {
+            "host": "h0", "tenant": "t", "seed": 7,
+            "duration_ms": 2048.0, "total_pages": trace.total_pages,
+            "writes": {
+                str(page): [float(t) for t in times]
+                for page, times in trace.writes.items()
+            },
+        }
+        via_stream = hostsim.run_host(streamed)
+        via_workload = hostsim.run_host(dict(WORKLOAD_PARAMS))
+        assert via_stream["report"] == via_workload["report"]
+
+    def test_seed_changes_results(self):
+        # The seed drives the fault screen (chip content), so two hosts
+        # differing only in seed see different failing populations.
+        screen = {"vulnerable_cell_rate": 5.0e-3, "bits_per_row": 256}
+        a = hostsim.run_host(
+            dict(STREAM_PARAMS, seed=3, fault_screen=dict(screen)))
+        b = hostsim.run_host(
+            dict(STREAM_PARAMS, seed=4, fault_screen=dict(screen)))
+        assert a["screen"]["failing_pages"] != b["screen"]["failing_pages"]
+        assert a["report"] != b["report"]
+
+
+class TestFaultScreen:
+    def test_screen_sets_failing_fraction(self):
+        params = dict(STREAM_PARAMS)
+        params["fault_screen"] = {
+            "vulnerable_cell_rate": 5.0e-3, "bits_per_row": 256,
+            "chunk_rows": 16,
+        }
+        payload = hostsim.run_host(params)
+        screen = payload["screen"]
+        assert screen["failing_pages"] >= 0
+        assert payload["failing_page_fraction"] == pytest.approx(
+            screen["failing_pages"] / STREAM_PARAMS["total_pages"])
+
+    def test_budget_bounds_resident_peak(self):
+        params = dict(STREAM_PARAMS)
+        params["fault_screen"] = {
+            "vulnerable_cell_rate": 5.0e-3, "bits_per_row": 256,
+            "chunk_rows": 8, "max_resident_rows": 16,
+        }
+        payload = hostsim.run_host(params)
+        assert payload["screen"]["resident_rows_peak"] <= 16
+
+    def test_screen_is_deterministic(self):
+        params = dict(STREAM_PARAMS)
+        params["fault_screen"] = {"vulnerable_cell_rate": 5.0e-3,
+                                  "bits_per_row": 256}
+        budgeted = dict(params)
+        budgeted["fault_screen"] = dict(
+            params["fault_screen"], max_resident_rows=8, chunk_rows=8)
+        a = hostsim.run_host(params)
+        b = hostsim.run_host(budgeted)
+        # Eviction + regeneration never changes the screen verdicts.
+        assert (a["screen"]["failing_pages"]
+                == b["screen"]["failing_pages"])
+        assert a["report"] == b["report"]
+
+    def test_explicit_fraction_skips_screen(self):
+        params = dict(STREAM_PARAMS, failing_page_fraction=0.5)
+        payload = hostsim.run_host(params)
+        assert "screen" not in payload
+        assert payload["failing_page_fraction"] == 0.5
+        assert payload["report"]["tests_failed"] > 0
+
+
+class TestRollup:
+    def test_rollup_attaches_windows(self):
+        params = dict(WORKLOAD_PARAMS, rollup=True)
+        payload = hostsim.run_host(params)
+        rollup = payload["rollup"]
+        assert rollup["events_total"] > 0
+        assert rollup["windows"]
+        assert set(rollup["pril"]) == {
+            "quanta", "started", "resolved", "hit_rate"}
+        assert any("lo_fraction" in w for w in rollup["windows"])
+
+    def test_rollup_does_not_change_report(self):
+        plain_payload = hostsim.run_host(dict(WORKLOAD_PARAMS))
+        rollup_payload = hostsim.run_host(
+            dict(WORKLOAD_PARAMS, rollup=True))
+        assert plain_payload["report"] == rollup_payload["report"]
+
+
+class TestTables:
+    def test_host_table_is_stable(self):
+        payload = hostsim.run_host(dict(WORKLOAD_PARAMS))
+        table = hostsim.host_table(payload)
+        assert "fleet_host:h0" in table
+        assert hostsim.host_table(payload) == table
+
+    def test_merge_units_folds_rows(self):
+        payloads = [
+            hostsim.run_host(dict(WORKLOAD_PARAMS)),
+            hostsim.run_host(dict(STREAM_PARAMS)),
+        ]
+        result = hostsim.merge_units(payloads)
+        text = result.to_text()
+        assert "h0" in text and "s0" in text
+        assert "2 hosts" in result.notes

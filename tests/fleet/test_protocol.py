@@ -1,0 +1,104 @@
+"""Fleet wire-protocol validation."""
+
+import pytest
+
+from repro.fleet import protocol
+from repro.fleet.registry import TenantProfile
+
+
+class TestParseTenant:
+    def test_minimal(self):
+        profile = protocol.parse_tenant({"tenant_id": "web"})
+        assert profile.tenant_id == "web"
+        assert profile.workload is None
+        assert profile.rollup is False
+
+    def test_full(self):
+        profile = protocol.parse_tenant({
+            "tenant_id": "web", "workload": "Netflix",
+            "duration_ms": 4096.0, "quantum_ms": 512.0, "seed_base": 7,
+            "rollup": True, "fault_screen": {"max_resident_rows": 64},
+            "description": "d",
+        })
+        assert profile.workload == "Netflix"
+        assert profile.seed_base == 7
+        assert profile.fault_screen == {"max_resident_rows": 64}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown fields"):
+            protocol.parse_tenant({"tenant_id": "web", "wrkload": "x"})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="workload"):
+            protocol.parse_tenant({"tenant_id": "w", "workload": "NoSuch"})
+
+    def test_not_a_mapping(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.parse_tenant(["tenant_id"])
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(protocol.ProtocolError, match="duration_ms"):
+            protocol.parse_tenant({"tenant_id": "w", "duration_ms": True})
+
+
+class TestParseHost:
+    def test_minimal(self):
+        spec = protocol.parse_host({"host_id": "h0", "tenant": "web"})
+        assert spec.host_id == "h0"
+        assert spec.seed is None
+        assert spec.rollup is None
+
+    def test_missing_tenant(self):
+        with pytest.raises(protocol.ProtocolError, match="tenant"):
+            protocol.parse_host({"host_id": "h0"})
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(protocol.ProtocolError, match="seed"):
+            protocol.parse_host(
+                {"host_id": "h0", "tenant": "t", "seed": 1.5})
+
+
+class TestTraceLines:
+    def test_round_trip(self):
+        writes = {3: [1.0, 2.5], 1: [0.25]}
+        text = protocol.trace_lines(writes)
+        parsed = {
+            page: times
+            for page, times in map(
+                protocol.parse_trace_line, protocol.iter_ndjson(text))
+        }
+        assert parsed == {1: [0.25], 3: [1.0, 2.5]}
+
+    def test_blank_lines_skipped(self):
+        text = '\n{"page": 0, "t_ms": [1]}\n\n'
+        assert len(list(protocol.iter_ndjson(text))) == 1
+
+    def test_bad_json_reports_line(self):
+        with pytest.raises(protocol.ProtocolError, match="line 2"):
+            list(protocol.iter_ndjson('{"page": 0, "t_ms": [1]}\n{nope\n'))
+
+    def test_negative_page(self):
+        with pytest.raises(protocol.ProtocolError, match="negative page"):
+            protocol.parse_trace_line({"page": -1, "t_ms": [1.0]})
+
+    def test_negative_timestamp(self):
+        with pytest.raises(protocol.ProtocolError, match="timestamp"):
+            protocol.parse_trace_line({"page": 0, "t_ms": [-2.0]})
+
+    def test_empty_times(self):
+        with pytest.raises(protocol.ProtocolError, match="t_ms"):
+            protocol.parse_trace_line({"page": 0, "t_ms": []})
+
+    def test_empty_writes_encode(self):
+        assert protocol.trace_lines({}) == ""
+
+
+class TestEncodeTenant:
+    def test_round_trip_drops_defaults(self):
+        profile = TenantProfile("web", workload="Netflix", seed_base=3)
+        message = protocol.encode_tenant(profile)
+        assert message == {
+            "tenant_id": "web", "workload": "Netflix", "seed_base": 3}
+        again = protocol.parse_tenant(message)
+        assert again.workload == profile.workload
+        assert again.seed_base == profile.seed_base

@@ -1,0 +1,155 @@
+"""Host/tenant registry lifecycle and seal semantics."""
+
+import pytest
+
+from repro.fleet.registry import (
+    FleetError,
+    HostRegistry,
+    HostSpec,
+    TenantProfile,
+    host_seed,
+)
+
+
+def make_registry():
+    registry = HostRegistry()
+    registry.add_tenant(TenantProfile(
+        "web", workload="Netflix", duration_ms=2048.0, seed_base=11))
+    return registry
+
+
+class TestRegistration:
+    def test_duplicate_tenant(self):
+        registry = make_registry()
+        with pytest.raises(FleetError, match="already registered"):
+            registry.add_tenant(TenantProfile("web"))
+
+    def test_host_requires_tenant(self):
+        registry = make_registry()
+        with pytest.raises(FleetError, match="unknown tenant"):
+            registry.add_host(HostSpec("h0", "nope"))
+
+    def test_duplicate_host(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        with pytest.raises(FleetError, match="already registered"):
+            registry.add_host(HostSpec("h0", "web"))
+
+    def test_counts(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        counts = registry.counts()
+        assert counts["registered"] == 1
+        assert counts["total"] == 1
+        assert counts["tenants"] == 1
+        assert not registry.all_done()
+
+
+class TestHostSeed:
+    def test_explicit_seed_wins(self):
+        tenant = TenantProfile("t", seed_base=99)
+        assert host_seed(HostSpec("h", "t", seed=5), tenant) == 5
+
+    def test_derived_seed_is_stable_and_distinct(self):
+        tenant = TenantProfile("t", seed_base=99)
+        a1 = host_seed(HostSpec("a", "t"), tenant)
+        a2 = host_seed(HostSpec("a", "t"), tenant)
+        b = host_seed(HostSpec("b", "t"), tenant)
+        assert a1 == a2
+        assert a1 != b
+
+
+class TestSeal:
+    def test_workload_host_inherits_tenant(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        params = registry.seal("h0")
+        assert params["workload"] == "Netflix"
+        assert params["duration_ms"] == 2048.0
+        assert params["host"] == "h0"
+        assert registry.counts()["sealed"] == 1
+
+    def test_streamed_host_needs_total_pages(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        registry.append_writes("h0", 3, [1.0])
+        with pytest.raises(FleetError, match="total_pages"):
+            registry.seal("h0")
+
+    def test_streamed_host_params_sorted(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web", total_pages=16))
+        registry.append_writes("h0", 5, [7.0, 2.0])
+        registry.append_writes("h0", 1, [3.0])
+        registry.append_writes("h0", 5, [1.0])
+        params = registry.seal("h0")
+        assert list(params["writes"]) == ["1", "5"]
+        assert params["writes"]["5"] == [1.0, 2.0, 7.0]
+        assert "workload" not in params
+
+    def test_no_workload_no_writes(self):
+        registry = HostRegistry()
+        registry.add_tenant(TenantProfile("bare", duration_ms=1024.0))
+        registry.add_host(HostSpec("h0", "bare"))
+        with pytest.raises(FleetError, match="neither streamed writes"):
+            registry.seal("h0")
+
+    def test_ingest_after_seal_rejected(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        registry.seal("h0")
+        with pytest.raises(FleetError, match="only valid before seal"):
+            registry.append_writes("h0", 0, [1.0])
+        with pytest.raises(FleetError, match="cannot seal"):
+            registry.seal("h0")
+
+    def test_tenant_fault_screen_copied(self):
+        registry = HostRegistry()
+        registry.add_tenant(TenantProfile(
+            "t", workload="Netflix", duration_ms=1024.0,
+            fault_screen={"max_resident_rows": 8}))
+        registry.add_host(HostSpec("h0", "t"))
+        params = registry.seal("h0")
+        assert params["fault_screen"] == {"max_resident_rows": 8}
+
+    def test_explicit_fraction_beats_screen(self):
+        registry = HostRegistry()
+        registry.add_tenant(TenantProfile(
+            "t", workload="Netflix", duration_ms=1024.0,
+            fault_screen={"max_resident_rows": 8}))
+        registry.add_host(
+            HostSpec("h0", "t", failing_page_fraction=0.25))
+        params = registry.seal("h0")
+        assert params["failing_page_fraction"] == 0.25
+        assert "fault_screen" not in params
+
+
+class TestCompletion:
+    def test_complete_and_table(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        registry.seal("h0")
+        payload = {"report": {
+            "refresh_reduction": 0.5, "lo_ref_time_fraction": 0.4,
+            "tests_total": 3,
+        }}
+        registry.complete("h0", payload, "TABLE", wall_s=0.1)
+        assert registry.host_table("h0") == "TABLE"
+        assert registry.all_done()
+        detail = registry.host_detail("h0")
+        assert detail["status"] == "done"
+        assert detail["payload"] is payload
+
+    def test_table_before_done_raises(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        with pytest.raises(FleetError, match="no table yet"):
+            registry.host_table("h0")
+
+    def test_fail_marks_terminal(self):
+        registry = make_registry()
+        registry.add_host(HostSpec("h0", "web"))
+        registry.seal("h0")
+        registry.fail("h0", "boom")
+        assert registry.all_done()
+        assert registry.host_detail("h0")["error"] == "boom"

@@ -1,0 +1,178 @@
+"""Fleet scheduler: batching, callbacks, checkpoint resume, experiments."""
+
+import threading
+
+import pytest
+
+from repro.fleet import hostsim
+from repro.fleet.scheduler import FleetScheduler
+from repro.parallel.units import decompose, execute_unit, merge_payloads
+
+
+def host_params(host_id, seed=3):
+    return {
+        "host": host_id, "tenant": "t", "seed": seed,
+        "duration_ms": 2048.0, "total_pages": 64,
+        "writes": {
+            "1": [10.0, 600.0, 1500.0],
+            "9": [5.0, 1800.0],
+        },
+    }
+
+
+class Collector:
+    def __init__(self):
+        self.results = {}
+        self.errors = {}
+        self.jobs = {}
+        self.lock = threading.Lock()
+
+    def host_result(self, host_id, payload, wall_s):
+        with self.lock:
+            self.results[host_id] = payload
+
+    def host_error(self, host_id, error):
+        with self.lock:
+            self.errors[host_id] = error
+
+    def job_done(self, job_id, result, wall_s):
+        with self.lock:
+            self.jobs[job_id] = result
+
+
+class TestHostBatches:
+    def test_hosts_stream_back_deterministically(self):
+        collector = Collector()
+        with FleetScheduler(
+            jobs=1, batch_max=2, on_host_result=collector.host_result
+        ) as scheduler:
+            for i in range(5):
+                scheduler.submit_host(host_params(f"h{i}", seed=i))
+            assert scheduler.join(timeout=120)
+            assert scheduler.backlog() == 0
+        assert sorted(collector.results) == [f"h{i}" for i in range(5)]
+        assert scheduler.stats.hosts_done == 5
+        # batch_max=2 over 5 consecutive hosts -> at least 3 batches
+        assert scheduler.stats.batches >= 3
+        for i in range(5):
+            expected = hostsim.run_host(host_params(f"h{i}", seed=i))
+            assert collector.results[f"h{i}"] == expected
+
+    def test_bad_host_reports_error_not_crash(self):
+        collector = Collector()
+        params = host_params("bad")
+        # Timestamps outside the window fail WriteTrace validation.
+        params["writes"] = {"1": [10.0, 9999.0]}
+        with FleetScheduler(
+            jobs=1, max_retries=0,
+            on_host_result=collector.host_result,
+            on_host_error=collector.host_error,
+        ) as scheduler:
+            scheduler.submit_host(params)
+            assert scheduler.join(timeout=60)
+        assert "bad" in collector.errors
+        assert scheduler.stats.hosts_failed == 1
+
+    def test_submit_after_close_raises(self):
+        scheduler = FleetScheduler(jobs=1)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit_host(host_params("h0"))
+
+
+class TestCheckpointResume:
+    def test_resume_skips_journalled_hosts(self, tmp_path):
+        journal_path = str(tmp_path / "fleet.ckpt")
+        first = Collector()
+        with FleetScheduler(
+            jobs=1, checkpoint=journal_path,
+            on_host_result=first.host_result,
+        ) as scheduler:
+            for i in range(3):
+                scheduler.submit_host(host_params(f"h{i}", seed=i))
+            assert scheduler.join(timeout=120)
+
+        second = Collector()
+        with FleetScheduler(
+            jobs=1, checkpoint=journal_path, resume=True,
+            on_host_result=second.host_result,
+        ) as scheduler:
+            for i in range(4):  # 3 journalled + 1 new
+                scheduler.submit_host(host_params(f"h{i}", seed=i))
+            assert scheduler.join(timeout=120)
+            assert scheduler.stats.units_skipped == 3
+            assert scheduler.stats.units_executed == 1
+        # Skipped hosts still deliver their (journalled) payloads,
+        # byte-identical to the first run's.
+        assert second.results == dict(first.results,
+                                      h3=second.results["h3"])
+
+    def test_interrupted_journal_is_resumable(self, tmp_path):
+        """close(wait=False) drops the queue but keeps a valid journal."""
+        journal_path = str(tmp_path / "fleet.ckpt")
+        collector = Collector()
+        scheduler = FleetScheduler(
+            jobs=1, checkpoint=journal_path,
+            on_host_result=collector.host_result,
+        )
+        scheduler.submit_host(host_params("h0", seed=0))
+        scheduler.join(timeout=120)
+        for i in range(1, 4):
+            scheduler.submit_host(host_params(f"h{i}", seed=i))
+        scheduler.close(wait=False)  # the "kill": pending work dropped
+        finished = len(collector.results)
+        assert finished >= 1
+
+        resumed = Collector()
+        with FleetScheduler(
+            jobs=1, checkpoint=journal_path, resume=True,
+            on_host_result=resumed.host_result,
+        ) as scheduler:
+            for i in range(4):
+                scheduler.submit_host(host_params(f"h{i}", seed=i))
+            assert scheduler.join(timeout=120)
+            assert scheduler.stats.units_skipped >= finished
+        assert sorted(resumed.results) == ["h0", "h1", "h2", "h3"]
+        for host_id, payload in collector.results.items():
+            assert resumed.results[host_id] == payload
+
+
+class TestExperimentJobs:
+    def test_fig04_table_matches_serial(self):
+        serial = merge_payloads(
+            "fig04",
+            [execute_unit(u, quick=True, seed=1)
+             for u in decompose("fig04", quick=True, seed=1)],
+            quick=True, seed=1,
+        ).to_text()
+        collector = Collector()
+        with FleetScheduler(
+            jobs=1, on_job_done=collector.job_done
+        ) as scheduler:
+            scheduler.submit_experiment("j0", "fig04", quick=True, seed=1)
+            assert scheduler.join(timeout=300)
+        assert collector.jobs["j0"].to_text() == serial
+        assert scheduler.stats.jobs_done == 1
+
+    def test_unknown_experiment_reports_exception(self):
+        collector = Collector()
+        with FleetScheduler(
+            jobs=1, on_job_done=collector.job_done
+        ) as scheduler:
+            scheduler.submit_experiment("j0", "no_such_experiment")
+            assert scheduler.join(timeout=60)
+        assert isinstance(collector.jobs["j0"], Exception)
+
+    def test_hosts_and_experiments_interleave(self):
+        collector = Collector()
+        with FleetScheduler(
+            jobs=1, batch_max=8,
+            on_host_result=collector.host_result,
+            on_job_done=collector.job_done,
+        ) as scheduler:
+            scheduler.submit_host(host_params("h0"))
+            scheduler.submit_experiment("j0", "fig04", quick=True, seed=1)
+            scheduler.submit_host(host_params("h1", seed=4))
+            assert scheduler.join(timeout=300)
+        assert sorted(collector.results) == ["h0", "h1"]
+        assert not isinstance(collector.jobs["j0"], Exception)

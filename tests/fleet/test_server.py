@@ -1,0 +1,156 @@
+"""HTTP endpoint end-to-end over a real socket."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fleet import hostsim
+from repro.fleet.client import FleetClient, FleetClientError
+from repro.fleet.server import FleetService, run_service_in_thread
+
+WRITES = {
+    1: [10.0, 600.0, 1500.0],
+    9: [5.0, 1800.0],
+}
+
+
+@pytest.fixture
+def fleet():
+    """A live service on an ephemeral port + a client bound to it."""
+    previous = obs.set_registry(obs.MetricsRegistry(enabled=True))
+    service = FleetService(jobs=1)
+    server, thread = run_service_in_thread(service)
+    client = FleetClient(port=server.port)
+    try:
+        yield service, client
+    finally:
+        try:
+            client.shutdown()
+        except Exception:
+            pass
+        thread.join(timeout=30)
+        service.close(wait=True)
+        obs.set_registry(previous)
+
+
+def register_small_host(client, host_id="h0", tenant="t"):
+    client.register_host({
+        "host_id": host_id, "tenant": tenant, "total_pages": 64,
+    })
+    client.stream_trace(host_id, WRITES)
+
+
+class TestRoutes:
+    def test_healthz(self, fleet):
+        _service, client = fleet
+        assert client._json("GET", "/healthz") == {"ok": True}
+
+    def test_unknown_route_404(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client._json("GET", "/v1/nope")
+        assert err.value.status == 404
+
+    def test_bad_json_400(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client._request("POST", "/v1/tenants", "{not json")
+        assert err.value.status == 400
+
+    def test_unknown_host_404(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client.host_detail("ghost")
+        assert err.value.status == 404
+
+    def test_protocol_violation_400(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client.register_tenant({"tenant_id": "t", "bogus": 1})
+        assert err.value.status == 400
+        assert "unknown fields" in str(err.value)
+
+    def test_wrong_method_405(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client._request("DELETE", "/v1/tenants", None)
+        assert err.value.status == 405
+
+
+class TestLifecycle:
+    def test_full_host_lifecycle(self, fleet):
+        _service, client = fleet
+        client.register_tenant({
+            "tenant_id": "t", "duration_ms": 2048.0, "seed_base": 5,
+        })
+        register_small_host(client)
+        hosts = client.hosts()
+        assert hosts[0]["status"] == "registered"
+        assert hosts[0]["streamed_pages"] == len(WRITES)
+
+        sealed = client.seal("h0")
+        assert sealed["sealed"] == "h0"
+        status = client.wait_all_done(timeout_s=120.0)
+        assert status["hosts"]["done"] == 1
+        assert status["fleet"]["hosts"]["done"] == 1
+        assert status["queue"]["hosts_done"] == 1
+
+        detail = client.host_detail("h0")
+        assert detail["status"] == "done"
+        served = client.host_table("h0")
+        assert served == hostsim.host_table(
+            hostsim.run_host(detail["params"]))
+
+    def test_ingest_after_seal_400(self, fleet):
+        _service, client = fleet
+        client.register_tenant({"tenant_id": "t", "duration_ms": 2048.0})
+        register_small_host(client)
+        client.seal("h0")
+        with pytest.raises(FleetClientError) as err:
+            client.stream_trace("h0", {2: [1.0]})
+        assert err.value.status == 400
+        client.wait_all_done(timeout_s=120.0)
+
+    def test_ingest_accounting(self, fleet):
+        _service, client = fleet
+        client.register_tenant({"tenant_id": "t", "duration_ms": 2048.0})
+        register_small_host(client)
+        status = client.status()
+        assert status["fleet"]["ingest"]["records"] == len(WRITES)
+
+    def test_manifest_has_fleet_section(self, fleet):
+        _service, client = fleet
+        client.register_tenant({"tenant_id": "t", "duration_ms": 2048.0})
+        register_small_host(client)
+        client.seal("h0")
+        client.wait_all_done(timeout_s=120.0)
+        manifest = client.manifest()
+        assert manifest["schema"] == 1
+        assert manifest["experiments"] == ["fleet"]
+        assert manifest["fleet"]["hosts"]["done"] == 1
+        assert manifest["fleet"]["tenants"]["t"]["hosts_done"] == 1
+        # The fleet section survives a manifest round trip.
+        doc = obs.RunManifest.from_dict(manifest).to_dict()
+        assert doc["fleet"] == manifest["fleet"]
+
+    def test_experiment_job_over_http(self, fleet):
+        _service, client = fleet
+        job_id = client.submit_job("fig04", quick=True, seed=1)
+        job = client.wait_job(job_id, timeout_s=300.0)
+        assert job["status"] == "done"
+        assert "fig04" in job["table"]
+
+    def test_unknown_job_404(self, fleet):
+        _service, client = fleet
+        with pytest.raises(FleetClientError) as err:
+            client.job("job-9999-nope")
+        assert err.value.status == 404
+
+    def test_table_before_done_400(self, fleet):
+        _service, client = fleet
+        client.register_tenant({"tenant_id": "t", "duration_ms": 2048.0})
+        register_small_host(client)
+        with pytest.raises(FleetClientError) as err:
+            client.host_table("h0")
+        assert err.value.status == 400

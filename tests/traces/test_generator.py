@@ -1,14 +1,20 @@
 """Tests for the synthetic write-trace generator."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.traces.generator import (
+    clear_trace_cache,
     generate_page_writes,
     generate_trace,
     pareto_gaps,
+    set_trace_cache_limit,
+    trace_cache_info,
 )
-from repro.traces.workloads import WORKLOADS
+from repro.traces.workloads import WORKLOADS, WorkloadProfile
 
 
 class TestParetoGaps:
@@ -112,3 +118,73 @@ class TestGenerateTrace:
         assert trace.duration_ms == 5_000.0
         for times in trace.writes.values():
             assert times.max() < 5_000.0
+
+
+class TestTraceCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        previous = set_trace_cache_limit(32)
+        clear_trace_cache()
+        yield
+        set_trace_cache_limit(previous)
+        clear_trace_cache()
+
+    def test_repeat_call_hits_cache(self):
+        a = generate_trace(WORKLOADS["Netflix"], seed=4, duration_ms=2_000.0)
+        b = generate_trace(WORKLOADS["Netflix"], seed=4, duration_ms=2_000.0)
+        assert a is b
+
+    def test_limit_is_configurable_and_evicts_lru(self):
+        set_trace_cache_limit(2)
+        first = generate_trace(WORKLOADS["Netflix"], seed=5,
+                               duration_ms=1_000.0)
+        generate_trace(WORKLOADS["BlurMotion"], seed=5, duration_ms=1_000.0)
+        # Touch Netflix so BlurMotion becomes LRU, then overflow.
+        assert generate_trace(WORKLOADS["Netflix"], seed=5,
+                              duration_ms=1_000.0) is first
+        generate_trace(WORKLOADS["SystemMgt"], seed=5, duration_ms=1_000.0)
+        assert trace_cache_info()["size"] == 2
+        assert generate_trace(WORKLOADS["Netflix"], seed=5,
+                              duration_ms=1_000.0) is first
+        fresh = generate_trace(WORKLOADS["BlurMotion"], seed=5,
+                               duration_ms=1_000.0)
+        again = generate_trace(WORKLOADS["BlurMotion"], seed=5,
+                               duration_ms=1_000.0)
+        assert fresh is again
+
+    def test_zero_limit_disables_caching(self):
+        set_trace_cache_limit(0)
+        a = generate_trace(WORKLOADS["Netflix"], seed=6, duration_ms=1_000.0)
+        b = generate_trace(WORKLOADS["Netflix"], seed=6, duration_ms=1_000.0)
+        assert a is not b
+        assert trace_cache_info() == {"size": 0, "limit": 0}
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            set_trace_cache_limit(-1)
+
+    def test_profile_subclass_never_aliases(self):
+        class ShadowProfile(WorkloadProfile):
+            pass
+
+        base = WORKLOADS["Netflix"]
+        shadow = ShadowProfile(**dataclasses.asdict(base))
+        generate_trace(base, seed=7, duration_ms=1_000.0)
+        a = generate_trace(shadow, seed=7, duration_ms=1_000.0)
+        b = generate_trace(shadow, seed=7, duration_ms=1_000.0)
+        # Subclasses opt out of the cache entirely: never served a
+        # WorkloadProfile's entry, never cached themselves.
+        assert a is not b
+
+    def test_hit_miss_metrics(self):
+        registry = obs.MetricsRegistry(enabled=True)
+        previous = obs.set_registry(registry)
+        try:
+            generate_trace(WORKLOADS["Netflix"], seed=8, duration_ms=1_000.0)
+            generate_trace(WORKLOADS["Netflix"], seed=8, duration_ms=1_000.0)
+            generate_trace(WORKLOADS["Netflix"], seed=9, duration_ms=1_000.0)
+            assert registry.counter("traces.cache_hits").value == 1
+            assert registry.counter("traces.cache_misses").value == 2
+            assert registry.gauge("traces.cache_size").value == 2
+        finally:
+            obs.set_registry(previous)
