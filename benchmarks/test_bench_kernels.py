@@ -1,0 +1,154 @@
+"""Compiled-kernels bench: numba backend vs the python oracle paths.
+
+Times the fig15/8-core simulator shapes and a module-scale fault-
+predicate batch under ``backend="python"`` and ``backend="numba"`` and
+records wall clock, speedup and the one-time JIT warm-up cost into
+``BENCH_kernels.json``. Warm-up runs *before* the timed window and is
+reported as its own field (mirroring the ``kernels.warmup_s`` gauge) —
+compile time is never folded into a kernel measurement.
+
+Honest numbers, PR-4 style: the >= 5x speed gate arms only when the
+numba backend actually runs. On machines without numba the equality
+smoke below still executes (via the interpreted ``pyfunc`` backend, the
+same kernel code paths), but no timing entry is recorded —
+``BENCH_kernels.json`` accumulates entries only where compiled kernels
+exist, and ``repro.obs.compare`` treats the file's absence as warn-only
+no-data rather than a regression.
+"""
+
+import os
+import time
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import kernels, obs
+from repro.dram.faults import FaultMap, FaultModelConfig
+from repro.mc.controller import RefreshSettings, TestTrafficSettings
+from repro.sim.system import SystemConfig, SystemSimulator
+from repro.traces.spec import get_benchmark
+
+BENCH_KERNELS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_kernels.json",
+)
+
+#: The compiled-vs-oracle speed gate from the kernels issue.
+TARGET_SPEEDUP = 5.0
+
+SCENARIOS = {
+    # fig15/table3 shape: 4 cores, one channel, MEMCON test traffic.
+    "kernels_sim_fig15_4core": dict(
+        benches=["mcf", "libquantum", "gcc", "tonto"],
+        channels=1,
+        tests=4,
+        window_ns=100_000.0,
+    ),
+    # Many actors, four schedulers: the pick/heap kernels' best regime.
+    "kernels_sim_8core_4ch": dict(
+        benches=["mcf", "tonto", "gcc", "libquantum"] * 2,
+        channels=4,
+        tests=0,
+        window_ns=100_000.0,
+    ),
+}
+
+
+def _simulate(spec, seed=1):
+    config = SystemConfig(
+        channels=spec["channels"],
+        refresh=RefreshSettings(base_interval_ms=16.0, reduction=0.0),
+        test_traffic=TestTrafficSettings(concurrent_tests=spec["tests"]),
+    )
+    benchmarks = [get_benchmark(name) for name in spec["benches"]]
+    simulator = SystemSimulator(benchmarks, config, seed=seed)
+    started = time.perf_counter()
+    result = simulator.run(spec["window_ns"])
+    return result, time.perf_counter() - started
+
+
+def _under(backend, fn):
+    kernels.set_backend(backend)
+    try:
+        warmup_s = kernels.warmup()  # compiles outside the timed window
+        value, wall_s = fn()
+        return value, wall_s, warmup_s
+    finally:
+        kernels.set_backend(None)
+
+
+def _predicate_batch():
+    fault_map = FaultMap(
+        total_rows=4096, bits_per_row=1024,
+        config=FaultModelConfig(vulnerable_cell_rate=5e-3), seed=1,
+    )
+    rows = np.arange(4096)
+    bits = np.random.default_rng(7).integers(
+        0, 2, size=(4096, 1024), dtype=np.uint8
+    )
+    stress = np.random.default_rng(8).uniform(0.0, 1.0, size=4096)
+    fault_map.rows_fail(rows, bits, 328.0)  # populate outside the window
+    started = time.perf_counter()
+    out = fault_map.failing_cells_batch(rows, bits, 328.0, stress)
+    return out, time.perf_counter() - started
+
+
+@pytest.mark.skipif(not kernels.numba_available(),
+                    reason="numba not installed; no compiled kernels to time")
+def test_bench_kernels_speedup(record_bench):
+    for name, spec in SCENARIOS.items():
+        oracle, python_s, _ = _under("python", lambda: _simulate(spec))
+        result, numba_s, warmup_s = _under("numba", lambda: _simulate(spec))
+        # Correctness before speed: backends must agree exactly.
+        assert asdict(result) == asdict(oracle)
+        speedup = python_s / numba_s if numba_s > 0 else 0.0
+        record_bench(
+            name, path=BENCH_KERNELS_PATH,
+            cores=len(spec["benches"]),
+            channels=spec["channels"],
+            window_ns=spec["window_ns"],
+            python_s=round(python_s, 6),
+            numba_s=round(numba_s, 6),
+            warmup_s=round(warmup_s, 6),
+            speedup=round(speedup, 3),
+        )
+        assert speedup >= TARGET_SPEEDUP, (
+            f"{name}: numba backend {speedup:.2f}x vs python "
+            f"({numba_s:.3f}s vs {python_s:.3f}s), target "
+            f"{TARGET_SPEEDUP}x"
+        )
+
+
+@pytest.mark.skipif(not kernels.numba_available(),
+                    reason="numba not installed; no compiled kernels to time")
+def test_bench_kernels_faultpred(record_bench):
+    (exp_rows, exp_cols), python_s, _ = _under("python", _predicate_batch)
+    (got_rows, got_cols), numba_s, warmup_s = _under(
+        "numba", _predicate_batch)
+    np.testing.assert_array_equal(got_rows, exp_rows)
+    np.testing.assert_array_equal(got_cols, exp_cols)
+    speedup = python_s / numba_s if numba_s > 0 else 0.0
+    record_bench(
+        "kernels_faultpred_batch", path=BENCH_KERNELS_PATH,
+        rows=4096, bits_per_row=1024,
+        python_s=round(python_s, 6),
+        numba_s=round(numba_s, 6),
+        warmup_s=round(warmup_s, 6),
+        speedup=round(speedup, 3),
+    )
+
+
+def test_bench_kernels_equality_smoke():
+    """Always-on gate: an engaged backend changes nothing observable.
+
+    Runs the fig15 shape under the best engaged backend available
+    (numba, else interpreted pyfunc) and pins the full SystemResult to
+    the oracle's. This is what makes a speed number *meaningful*; it
+    runs even where the timing tests skip.
+    """
+    backend = "numba" if kernels.numba_available() else "pyfunc"
+    spec = SCENARIOS["kernels_sim_fig15_4core"]
+    oracle, _, _ = _under("python", lambda: _simulate(spec))
+    result, _, _ = _under(backend, lambda: _simulate(spec))
+    assert asdict(result) == asdict(oracle)

@@ -56,7 +56,7 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .. import obs
+from .. import kernels, obs
 from ..parallel import (
     CheckpointJournal,
     ParallelExecutor,
@@ -265,6 +265,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--forensics-out", metavar="FILE", default=None,
         help="ledger location (default: <trace stem>.forensics.jsonl)",
     )
+    parser.add_argument(
+        "--backend", choices=list(kernels.BACKENDS), default=None,
+        metavar="NAME",
+        help="hot-kernel backend: auto (numba when usable, else python), "
+        "numba, python, or pyfunc (interpreted kernel paths, for "
+        "equivalence testing); default: auto / $REPRO_KERNELS",
+    )
     verbosity = parser.add_mutually_exclusive_group()
     verbosity.add_argument(
         "-v", "--verbose", action="store_true",
@@ -298,6 +305,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.trace = "results.trace.jsonl"
         logger.info("--forensics: tracing to %s", args.trace)
 
+    if args.backend:
+        # Workers inherit the environment under both fork and spawn, so
+        # sharded runs resolve the same backend as the parent.
+        os.environ["REPRO_KERNELS"] = args.backend
+    backend = kernels.set_backend(args.backend)
+    # JIT compilation happens here, before any timed window, and is
+    # reported as its own metric (kernels.warmup_s) rather than riding
+    # the first experiment's span.
+    warmup_s = kernels.warmup()
+    if warmup_s:
+        logger.info("kernels: %s backend, warm-up %.2fs", backend, warmup_s)
+
     parallel = args.jobs > 1
     journaling = parallel or args.resume or bool(args.checkpoint)
 
@@ -315,7 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "live": args.live, "window_ms": args.window_ms,
                 "jobs": args.jobs, "resume": args.resume,
                 "profile": profiling, "profile_mem": args.profile_mem,
-                "forensics": args.forensics},
+                "forensics": args.forensics,
+                "kernels": kernels.backend_info()},
     )
     manifest.trace_path = args.trace
 

@@ -1,0 +1,70 @@
+"""Numba availability probe and the ``maybe_njit`` compile shim.
+
+The kernels package must import — and the python backend must work —
+on an interpreter with no numba installed, so the probe is lazy and the
+decorator degrades to a no-op that simply tags the function with its own
+``py_func`` (mirroring the attribute a numba dispatcher carries). Every
+kernel module decorates with :func:`maybe_njit`; backend dispatch then
+only has to choose between the dispatcher and ``fn.py_func``.
+
+``NUMBA_DISABLE_JIT`` is honoured as "numba is not usable": with JIT
+disabled a numba dispatcher runs interpreted anyway, which would make
+the ``auto`` backend silently slower than the tuned numpy paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+_probe_done = False
+_numba_mod: Optional[Any] = None
+
+
+def _jit_disabled() -> bool:
+    """True when the environment forces numba to interpret (no JIT)."""
+    return os.environ.get("NUMBA_DISABLE_JIT", "0") not in ("", "0")
+
+
+def _probe() -> Optional[Any]:
+    global _probe_done, _numba_mod
+    if not _probe_done:
+        _probe_done = True
+        try:
+            import numba  # noqa: F401 — optional dependency
+            _numba_mod = numba
+        except Exception:
+            _numba_mod = None
+    return _numba_mod
+
+
+def numba_available() -> bool:
+    """Whether numba imports *and* is allowed to JIT-compile."""
+    return _probe() is not None and not _jit_disabled()
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version string, or None when absent."""
+    mod = _probe()
+    return getattr(mod, "__version__", None) if mod is not None else None
+
+
+def maybe_njit(**njit_kwargs: Any) -> Callable[[Callable], Callable]:
+    """``numba.njit`` when usable, else identity; always sets ``py_func``.
+
+    The returned object is either a numba dispatcher (which natively
+    carries ``py_func``) or the plain function with ``py_func`` pointing
+    at itself — so ``fn.py_func`` is the interpreted kernel either way,
+    and the ``pyfunc`` backend can exercise kernel code paths without
+    numba installed.
+    """
+
+    def wrap(func: Callable) -> Callable:
+        if numba_available():
+            import numba
+
+            return numba.njit(**njit_kwargs)(func)
+        func.py_func = func  # type: ignore[attr-defined]
+        return func
+
+    return wrap

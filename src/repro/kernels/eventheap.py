@@ -1,0 +1,198 @@
+"""Flattened typed-array event heap for the system simulator.
+
+``FlatEventHeap`` mirrors :class:`repro.sim.events.EventHeap` — lazy
+invalidation over ``(time, actor, version)`` min-heap entries — with the
+heap stored in parallel ``float64``/``int64`` arrays and sift / prune /
+peek loops as njit kernels. Actors are dense small integers (the system
+simulator encodes core ``i`` as ``i`` and channel ``ch`` as
+``n_cores + ch``, preserving the tuple actors' tiebreak order), so the
+per-actor version/time maps become flat arrays too.
+
+Pop order is layout-independent: every live entry is unique under the
+``(time, actor, version)`` lexicographic order (same actor + same time
+still differ by version), so any correct binary heap yields the same
+ascending drain sequence as ``heapq`` over tuples — the property the
+equivalence suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import impl
+from ._compile import maybe_njit
+
+
+@maybe_njit(cache=True)
+def _less(times, actors, versions, i, j):
+    ti, tj = times[i], times[j]
+    if ti != tj:
+        return ti < tj
+    ai, aj = actors[i], actors[j]
+    if ai != aj:
+        return ai < aj
+    return versions[i] < versions[j]
+
+
+@maybe_njit(cache=True)
+def _swap(times, actors, versions, i, j):
+    times[i], times[j] = times[j], times[i]
+    actors[i], actors[j] = actors[j], actors[i]
+    versions[i], versions[j] = versions[j], versions[i]
+
+
+@maybe_njit(cache=True)
+def _sift_down(times, actors, versions, size, i):
+    while True:
+        left = 2 * i + 1
+        if left >= size:
+            return
+        smallest = left
+        right = left + 1
+        if right < size and _less(times, actors, versions, right, left):
+            smallest = right
+        if _less(times, actors, versions, smallest, i):
+            _swap(times, actors, versions, i, smallest)
+            i = smallest
+        else:
+            return
+
+
+@maybe_njit(cache=True)
+def _heap_push(times, actors, versions, size, t, a, v):
+    i = size
+    times[i] = t
+    actors[i] = a
+    versions[i] = v
+    while i > 0:
+        parent = (i - 1) >> 1
+        if _less(times, actors, versions, i, parent):
+            _swap(times, actors, versions, i, parent)
+            i = parent
+        else:
+            break
+    return size + 1
+
+
+@maybe_njit(cache=True)
+def _heap_pop_root(times, actors, versions, size):
+    last = size - 1
+    _swap(times, actors, versions, 0, last)
+    _sift_down(times, actors, versions, last, 0)
+    return last
+
+
+@maybe_njit(cache=True)
+def _prune_due(times, actors, versions, size, now,
+               cur_version, has_time, out):
+    count = 0
+    while size > 0 and times[0] <= now:
+        actor = actors[0]
+        version = versions[0]
+        size = _heap_pop_root(times, actors, versions, size)
+        if has_time[actor] and cur_version[actor] == version:
+            cur_version[actor] = version + 1  # consume
+            has_time[actor] = False
+            out[count] = actor
+            count += 1
+    return size, count
+
+
+@maybe_njit(cache=True)
+def _next_time(times, actors, versions, size, cur_version, has_time,
+               default):
+    while size > 0:
+        actor = actors[0]
+        if has_time[actor] and cur_version[actor] == versions[0]:
+            return size, times[0]
+        size = _heap_pop_root(times, actors, versions, size)
+    return size, default
+
+
+class FlatEventHeap:
+    """Drop-in :class:`~repro.sim.events.EventHeap` for integer actors.
+
+    Same push / current / invalidate / prune_due / next_time API and
+    identical observable behaviour; requires actors in ``[0, n_actors)``.
+    """
+
+    __slots__ = ("_times", "_actors", "_versions", "_size",
+                 "_cur_version", "_cur_time", "_has_time", "_due")
+
+    def __init__(self, n_actors: int, capacity: int = 64) -> None:
+        if n_actors <= 0:
+            raise ValueError("n_actors must be positive")
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._actors = np.empty(capacity, dtype=np.int64)
+        self._versions = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+        self._cur_version = np.zeros(n_actors, dtype=np.int64)
+        self._cur_time = np.zeros(n_actors, dtype=np.float64)
+        self._has_time = np.zeros(n_actors, dtype=np.bool_)
+        self._due = np.empty(n_actors, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return int(self._has_time.sum())
+
+    def _grow(self) -> None:
+        capacity = len(self._times) * 2
+        for name in ("_times", "_actors", "_versions"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._size] = old[: self._size]
+            setattr(self, name, fresh)
+
+    def push(self, actor: int, time: float) -> None:
+        """Post (or re-post) an actor's next-ready time."""
+        if self._size == len(self._times):
+            self._grow()
+        version = int(self._cur_version[actor]) + 1
+        self._cur_version[actor] = version
+        self._cur_time[actor] = time
+        self._has_time[actor] = True
+        self._size = int(impl(_heap_push)(
+            self._times, self._actors, self._versions, self._size,
+            time, actor, version,
+        ))
+
+    def current(self, actor: int) -> Optional[float]:
+        """The actor's posted time, or None when it has none."""
+        if self._has_time[actor]:
+            return float(self._cur_time[actor])
+        return None
+
+    def invalidate(self, actor: int) -> None:
+        """Withdraw an actor's posted time (lazy: entry dropped on pop)."""
+        if self._has_time[actor]:
+            self._cur_version[actor] += 1
+            self._has_time[actor] = False
+
+    def prune_due(self, now: float) -> List[int]:
+        """Consume every posted time ``<= now``; returns those actors."""
+        self._size, count = impl(_prune_due)(
+            self._times, self._actors, self._versions, self._size,
+            now, self._cur_version, self._has_time, self._due,
+        )
+        self._size = int(self._size)
+        return [int(a) for a in self._due[:count]]
+
+    def next_time(self, default: float) -> float:
+        """Earliest posted time, skipping stale entries."""
+        self._size, time = impl(_next_time)(
+            self._times, self._actors, self._versions, self._size,
+            self._cur_version, self._has_time, default,
+        )
+        self._size = int(self._size)
+        return float(time)
+
+
+def warmup() -> None:
+    """Force one compilation of each heap kernel."""
+    heap = FlatEventHeap(2)
+    heap.push(0, 1.0)
+    heap.push(1, 2.0)
+    heap.invalidate(1)
+    heap.next_time(9.0)
+    heap.prune_due(1.5)

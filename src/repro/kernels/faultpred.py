@@ -1,0 +1,194 @@
+"""Compiled per-cell failure predicates (content + read-disturbance).
+
+Ports the two vectorised numpy predicates to explicit per-cell loops:
+
+* :func:`evaluate` mirrors ``FaultMap._evaluate`` — charged-cell check,
+  physical-neighbour aggressor count, stress-table lookup, optional
+  ``disturb_stress`` composition, threshold compare;
+* :func:`disturb_hit` mirrors the dose/charge compare inside
+  ``DisturbMap.flips``.
+
+Bit-identity contract: the kernels use only additions, multiplications
+in the oracle's association order, table lookups and comparisons — no
+transcendental functions — so their float results are exactly the
+oracle's. Population *generation* (Box-Muller draws over hashed
+uniforms) deliberately stays on the shared numpy path: vectorised
+``log``/``cos``/``exp`` are not guaranteed ulp-identical across
+implementations, and a 1-ulp threshold shift would break the exact
+equality gate.
+
+Array-layout contract: content bits arrive as a 2-D ``(rows, width)``
+matrix; a single shared row is passed as shape ``(1, width)`` with
+``shared=True`` so every cell reads row 0. ``row_pos`` aligns each cell
+with its batch row; per-row extra stress is indexed by ``row_pos``,
+scalar extra is broadcast. Adding a 0.0 scalar is bitwise safe here
+(model stresses are never ``-0.0``), so the kernel adds unconditionally
+where the numpy path skips the add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import impl
+from ._compile import maybe_njit
+
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+@maybe_njit(cache=True)
+def _predicate_kernel(
+    cols, thresholds, true_cell, bits, row_pos, shared,
+    s0, s1, s2, extra_scalar, extra_rows, extra_per_row, out,
+):
+    width = bits.shape[1]
+    for i in range(cols.shape[0]):
+        c = cols[i]
+        if c >= width:
+            out[i] = False
+            continue
+        r = 0 if shared else row_pos[i]
+        v = bits[r, c]
+        if true_cell[i]:
+            charged = v == 1
+        else:
+            charged = v == 0
+        if not charged:
+            out[i] = False
+            continue
+        agg = 0
+        if c > 0 and bits[r, c - 1] != v:
+            agg += 1
+        if c + 1 < width and bits[r, c + 1] != v:
+            agg += 1
+        if agg == 0:
+            stress = s0
+        elif agg == 1:
+            stress = s1
+        else:
+            stress = s2
+        if extra_per_row:
+            stress = stress + extra_rows[row_pos[i]]
+        else:
+            stress = stress + extra_scalar
+        out[i] = stress >= thresholds[i]
+    return out
+
+
+@maybe_njit(cache=True)
+def _disturb_kernel(
+    thresholds, row_pos, pressures, hc_first, interval_factor,
+    cols, true_cell, bits, shared, use_bits, out,
+):
+    for i in range(thresholds.shape[0]):
+        effective = thresholds[i] * hc_first * interval_factor
+        hit = pressures[row_pos[i]] >= effective
+        if hit and use_bits:
+            width = bits.shape[1]
+            c = cols[i]
+            if c >= width:
+                hit = False
+            else:
+                r = 0 if shared else row_pos[i]
+                v = bits[r, c]
+                if true_cell[i]:
+                    hit = v == 1
+                else:
+                    hit = v == 0
+        out[i] = hit
+    return out
+
+
+def evaluate(cols, thresholds, true_cell, bits, row_pos,
+             stress_table, disturb_stress):
+    """Kernel-backed equivalent of ``FaultMap._evaluate``.
+
+    Same argument semantics: ``bits`` is a 1-D shared row or a matrix
+    indexed by ``row_pos``; ``disturb_stress`` is None, a scalar, or an
+    array aligned with the batch's rows. Returns the boolean fail mask.
+    """
+    n = len(cols)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    bits = np.ascontiguousarray(bits)
+    shared = bits.ndim == 1
+    if shared:
+        bits = bits.reshape(1, -1)
+    pos = _EMPTY_I64 if row_pos is None else np.ascontiguousarray(row_pos)
+    extra_scalar = 0.0
+    extra_rows = _EMPTY_F64
+    extra_per_row = False
+    if disturb_stress is not None:
+        extra = np.asarray(disturb_stress, dtype=np.float64)
+        if extra.ndim == 0:
+            extra_scalar = float(extra)
+        elif row_pos is not None:
+            extra_rows = np.ascontiguousarray(extra)
+            extra_per_row = True
+        else:
+            raise ValueError(
+                "per-row disturb_stress needs a batched evaluation"
+            )
+    out = np.empty(n, dtype=np.bool_)
+    impl(_predicate_kernel)(
+        np.ascontiguousarray(cols),
+        np.ascontiguousarray(thresholds),
+        np.ascontiguousarray(true_cell),
+        bits, pos, shared,
+        float(stress_table[0]), float(stress_table[1]),
+        float(stress_table[2]),
+        extra_scalar, extra_rows, extra_per_row, out,
+    )
+    return out
+
+
+def disturb_hit(thresholds, row_pos, pressures, hc_first, interval_factor,
+                cols, true_cell, content_bits):
+    """Kernel-backed dose/charge compare of ``DisturbMap.flips``.
+
+    Returns the boolean hit mask over the flat cell batch;
+    ``content_bits`` of None skips the charge check (worst case).
+    """
+    n = len(thresholds)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    use_bits = content_bits is not None
+    if use_bits:
+        bits = np.ascontiguousarray(content_bits)
+        shared = bits.ndim == 1
+        if shared:
+            bits = bits.reshape(1, -1)
+    else:
+        bits = np.zeros((1, 1), dtype=np.uint8)
+        shared = True
+    out = np.empty(n, dtype=np.bool_)
+    impl(_disturb_kernel)(
+        np.ascontiguousarray(thresholds),
+        np.ascontiguousarray(row_pos),
+        np.ascontiguousarray(pressures),
+        float(hc_first), float(interval_factor),
+        np.ascontiguousarray(cols),
+        np.ascontiguousarray(true_cell),
+        bits, shared, use_bits, out,
+    )
+    return out
+
+
+def warmup() -> None:
+    """Force one compilation of each kernel for the common dtypes."""
+    cols = np.array([1], dtype=np.int64)
+    thr = np.array([0.5], dtype=np.float64)
+    tc = np.array([True])
+    pos = np.array([0], dtype=np.int64)
+    bits = np.zeros((1, 4), dtype=np.uint8)
+    table = np.array([0.1, 0.5, 1.0])
+    for shared_bits in (bits[0], bits):
+        evaluate(cols, thr, tc, shared_bits, pos, table, None)
+        evaluate(cols, thr, tc, shared_bits, pos, table,
+                 np.array([0.25]))
+    evaluate(cols, thr, tc, bits[0], None, table, 0.25)
+    press = np.array([1.0])
+    disturb_hit(thr, pos, press, 48.0, 1.0, cols, tc, None)
+    disturb_hit(thr, pos, press, 48.0, 1.0, cols, tc, bits[0])
+    disturb_hit(thr, pos, press, 48.0, 1.0, cols, tc, bits)

@@ -1,0 +1,177 @@
+"""Compiled FR-FCFS pick and earliest-issue scans.
+
+The oracle (``FrFcfsScheduler``) keeps one FIFO deque per (kind, bank)
+and scans banks-with-work per pick. The kernel path mirrors each kind's
+pending entries into a flat append-ordered ring — ``(seq, bank, row,
+arrival)`` typed arrays with tombstones for removed entries — plus
+per-bank ``ready_ns`` / ``open_row`` arrays maintained by the memory
+controller. Because enqueue order *is* sequence order, one ascending
+scan of the ring replicates the per-bank rule exactly:
+
+* the first eligible entry overall is the oldest eligible (``best_any``);
+* the first entry matching its bank's open row is the winning row-buffer
+  hit — any later bank's first hit would carry a larger seq;
+* a per-bank ``done`` flag reproduces the oracle's break rules (bank not
+  ready, or precharged bank once its oldest candidate is known).
+
+The deques remain the source of truth (debug views, counters,
+min-arrival bookkeeping); the ring is an index over them, compacted
+when tombstones dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import impl
+from ._compile import maybe_njit
+
+_INF = float("inf")
+
+
+@maybe_njit(cache=True)
+def _pick_kernel(seqs, banks, rows, arrivals, head, tail,
+                 ready, open_rows, done, now):
+    for b in range(done.shape[0]):
+        done[b] = False
+    best_any = -1
+    for idx in range(head, tail):
+        if seqs[idx] < 0:
+            continue  # tombstone
+        b = banks[idx]
+        if done[b]:
+            continue
+        if ready[b] > now:
+            done[b] = True  # bank cannot accept a command this instant
+            continue
+        if arrivals[idx] > now:
+            continue
+        orow = open_rows[b]
+        if best_any < 0:
+            best_any = idx
+        if orow < 0:
+            done[b] = True  # no hit possible in a precharged bank
+            continue
+        if rows[idx] == orow:
+            return idx  # first hit in global seq order wins
+    return best_any
+
+
+@maybe_njit(cache=True)
+def _earliest_kernel(min_arrival, count, ready, floor):
+    best = _INF
+    for b in range(count.shape[0]):
+        if count[b] == 0:
+            continue
+        t = min_arrival[b]
+        if ready[b] > t:
+            t = ready[b]
+        if floor > t:
+            t = floor
+        if t < best:
+            best = t
+    return best
+
+
+class KindRing:
+    """Append-ordered typed-array mirror of one request kind's entries."""
+
+    __slots__ = ("seqs", "banks", "rows", "arrivals", "head", "tail",
+                 "live", "_slot_of")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.seqs = np.empty(capacity, dtype=np.int64)
+        self.banks = np.empty(capacity, dtype=np.int64)
+        self.rows = np.empty(capacity, dtype=np.int64)
+        self.arrivals = np.empty(capacity, dtype=np.float64)
+        self.head = 0
+        self.tail = 0
+        self.live = 0
+        self._slot_of = {}  # seq -> slot, for removals not chosen by pick
+
+    def append(self, seq: int, bank: int, row: int, arrival: float) -> None:
+        if self.tail == len(self.seqs):
+            self._compact_or_grow()
+        slot = self.tail
+        self.seqs[slot] = seq
+        self.banks[slot] = bank
+        self.rows[slot] = row
+        self.arrivals[slot] = arrival
+        self._slot_of[seq] = slot
+        self.tail = slot + 1
+        self.live += 1
+
+    def kill_slot(self, slot: int) -> None:
+        """Tombstone a slot chosen by the pick kernel."""
+        self._slot_of.pop(int(self.seqs[slot]), None)
+        self.seqs[slot] = -1
+        self.live -= 1
+        self._advance_head()
+
+    def kill_seq(self, seq: int) -> None:
+        """Tombstone by sequence number (removal outside the pick path)."""
+        slot = self._slot_of.pop(seq, None)
+        if slot is not None:
+            self.seqs[slot] = -1
+            self.live -= 1
+            self._advance_head()
+
+    def _advance_head(self) -> None:
+        seqs, tail = self.seqs, self.tail
+        head = self.head
+        while head < tail and seqs[head] < 0:
+            head += 1
+        self.head = head
+
+    def _compact_or_grow(self) -> None:
+        window = self.tail - self.head
+        if self.live * 2 <= window or self.head > 0:
+            keep = slice(self.head, self.tail)
+            mask = self.seqs[keep] >= 0
+            n = int(mask.sum())
+            capacity = max(256, len(self.seqs))
+            while capacity < 2 * n:
+                capacity *= 2
+            for name in ("seqs", "banks", "rows", "arrivals"):
+                old = getattr(self, name)
+                fresh = np.empty(capacity, dtype=old.dtype)
+                fresh[:n] = old[keep][mask]
+                setattr(self, name, fresh)
+            self.head = 0
+            self.tail = n
+            self._slot_of = {
+                int(s): i for i, s in enumerate(self.seqs[:n])
+            }
+        else:
+            for name in ("seqs", "banks", "rows", "arrivals"):
+                old = getattr(self, name)
+                fresh = np.empty(len(old) * 2, dtype=old.dtype)
+                fresh[: self.tail] = old[: self.tail]
+                setattr(self, name, fresh)
+
+    def pick(self, ready: np.ndarray, open_rows: np.ndarray,
+             done: np.ndarray, now: float) -> int:
+        """Winning slot per the FR-FCFS rule, or -1. Does not remove."""
+        if not self.live:
+            return -1
+        return int(impl(_pick_kernel)(
+            self.seqs, self.banks, self.rows, self.arrivals,
+            self.head, self.tail, ready, open_rows, done, now,
+        ))
+
+
+def earliest_issue(min_arrival: np.ndarray, count: np.ndarray,
+                   ready: np.ndarray, floor: float) -> float:
+    """min over banks-with-work of max(min arrival, ready, floor)."""
+    return float(impl(_earliest_kernel)(min_arrival, count, ready, floor))
+
+
+def warmup() -> None:
+    """Force one compilation of each scheduler kernel."""
+    ring = KindRing(4)
+    ring.append(0, 0, 5, 0.0)
+    ready = np.zeros(1, dtype=np.float64)
+    open_rows = np.full(1, -1, dtype=np.int64)
+    done = np.zeros(1, dtype=np.bool_)
+    ring.pick(ready, open_rows, done, 1.0)
+    earliest_issue(np.zeros(1), np.ones(1, dtype=np.int64), ready, 0.0)

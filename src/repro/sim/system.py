@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import kernels, obs
 from ..dram.timing import DDR3_1600, TimingParameters, trfc_for_density_ns
+from ..kernels.eventheap import FlatEventHeap
 from ..mc.controller import (
     MemoryController,
     RefreshSettings,
@@ -236,17 +237,23 @@ class SystemSimulator:
         # iteration touches only the due actors — the per-iteration cost
         # is proportional to the work at that instant, not to the number
         # of cores and channels.
-        heap = EventHeap()
-        core_actors = [("core", i) for i in range(n_cores)]
-        mc_actors = [("mc", ch) for ch in range(n_channels)]
+        #
+        # Actors are dense ints: core i -> i, channel ch -> n_cores + ch.
+        # That encoding preserves the historical tuple actors' tiebreak
+        # (all cores before all controllers, each group by index), and
+        # lets the kernels backend swap in the typed-array heap.
+        heap = (
+            FlatEventHeap(n_cores + n_channels)
+            if kernels.engaged() else EventHeap()
+        )
         hints: List[Optional[float]] = []
         for i, core in enumerate(cores):
             hint = core.next_arrival_hint(0.0)
             hints.append(hint)
             if hint is not None:
-                heap.push(core_actors[i], hint)
+                heap.push(i, hint)
         for channel in range(n_channels):
-            heap.push(mc_actors[channel], 0.0)  # every controller due at t=0
+            heap.push(n_cores + channel, 0.0)  # every controller due at t=0
         # Per-core backpressure queues (the fairness fix: a refused
         # request stalls only its own core, not every later-index core).
         holdback: List[List[Request]] = [[] for _ in cores]
@@ -262,10 +269,10 @@ class SystemSimulator:
             due_cores: List[int] = []
             drain_chs: List[int] = []
             for actor in heap.prune_due(now):
-                if actor[0] == "core":
-                    due_cores.append(actor[1])
+                if actor < n_cores:
+                    due_cores.append(actor)
                 else:
-                    drain_chs.append(actor[1])
+                    drain_chs.append(actor - n_cores)
             touched = [False] * n_channels
             fed = False
 
@@ -301,9 +308,8 @@ class SystemSimulator:
                 if hint > now:
                     # Not actually due (blocked-path visit or a stale
                     # wake-up); make sure the arrival stays posted.
-                    actor = core_actors[i]
-                    if heap.current(actor) is None:
-                        heap.push(actor, hint)
+                    if heap.current(i) is None:
+                        heap.push(i, hint)
                     continue
                 core = cores[i]
                 while True:
@@ -320,7 +326,7 @@ class SystemSimulator:
                 hint = core.next_arrival_hint(now)
                 hints[i] = hint
                 if hint is not None:
-                    heap.push(core_actors[i], hint)
+                    heap.push(i, hint)
 
             # --- Controllers, in channel order: drain every due or
             # freshly-fed channel. `floor_base` tracks the last instant
@@ -350,14 +356,14 @@ class SystemSimulator:
                     # event elsewhere (core arrivals + peer channels —
                     # exactly the live heap minus this channel's entry,
                     # which the drain supersedes anyway).
-                    heap.invalidate(mc_actors[channel])
+                    heap.invalidate(n_cores + channel)
                     bound = heap.next_time(window_ns)
                     if bound > window_ns:
                         bound = window_ns
                 next_event, last_instant = controllers[channel].drain(
                     now, bound
                 )
-                heap.push(mc_actors[channel], next_event)
+                heap.push(n_cores + channel, next_event)
                 if last_instant > floor_base:
                     floor_base = last_instant
 
@@ -375,9 +381,9 @@ class SystemSimulator:
                     hint = cores[i].next_arrival_hint(now)
                     hints[i] = hint
                     if hint is not None:
-                        heap.push(core_actors[i], hint)
+                        heap.push(i, hint)
                     else:
-                        heap.invalidate(core_actors[i])
+                        heap.invalidate(i)
 
             # --- Advance to the next posted event, floored one tCK past
             # the last instant processed this iteration. While a refused

@@ -1,0 +1,41 @@
+"""Shared fixtures for the cross-backend kernel equivalence suites.
+
+Every suite here compares an *engaged* kernels backend against the
+``python`` oracle. ``pyfunc`` (the interpreted kernel paths) is always
+testable; ``numba`` legs materialize only where numba is installed —
+parametrization simply omits them elsewhere, so the suites auto-skip
+rather than fail on a python-only machine (this repo's CI has both
+legs).
+"""
+
+import pytest
+
+from repro import kernels
+
+#: Engaged backends testable in this environment.
+ENGAGED_BACKENDS = ["pyfunc"] + (
+    ["numba"] if kernels.numba_available() else []
+)
+
+requires_numba = pytest.mark.skipif(
+    not kernels.numba_available(),
+    reason="numba not installed (pip install repro[kernels])",
+)
+
+
+@pytest.fixture(params=ENGAGED_BACKENDS)
+def kernel_backend(request):
+    """Each engaged backend in turn; the oracle backend is restored."""
+    backend = kernels.set_backend(request.param)
+    if backend == "numba":
+        kernels.warmup()
+    yield backend
+    kernels.set_backend(None)
+
+
+@pytest.fixture
+def python_backend():
+    """Force the oracle backend for the duration of a test."""
+    kernels.set_backend("python")
+    yield "python"
+    kernels.set_backend(None)

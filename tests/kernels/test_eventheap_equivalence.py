@@ -1,0 +1,86 @@
+"""FlatEventHeap vs EventHeap — identical drains under random scripts.
+
+The flat heap stores entries in typed arrays and pops via njit kernels,
+but every live entry is unique under the ``(time, actor, version)``
+order, so its observable behaviour (current / prune order / next_time /
+len) must be indistinguishable from the heapq-backed oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.kernels.eventheap import FlatEventHeap
+from repro.sim.events import EventHeap
+
+from .conftest import ENGAGED_BACKENDS
+
+
+def _run_script(seed, n_actors, steps, backend):
+    rng = np.random.default_rng(seed)
+    kernels.set_backend(backend)
+    try:
+        if backend == "numba":
+            kernels.warmup()
+        subject = FlatEventHeap(n_actors, capacity=4)  # force growth
+        oracle = EventHeap()
+        now = 0.0
+        for _ in range(steps):
+            op = rng.integers(5)
+            actor = int(rng.integers(n_actors))
+            if op <= 1:
+                t = now + float(rng.uniform(0.0, 20.0))
+                subject.push(actor, t)
+                oracle.push(actor, t)
+            elif op == 2:
+                subject.invalidate(actor)
+                oracle.invalidate(actor)
+            elif op == 3:
+                now += float(rng.uniform(0.0, 10.0))
+                assert subject.prune_due(now) == oracle.prune_due(now)
+            else:
+                default = now + 1e9
+                assert subject.next_time(default) == oracle.next_time(default)
+            assert subject.current(actor) == oracle.current(actor)
+            assert len(subject) == len(oracle)
+        # Final drain: every remaining posted time comes out in the same
+        # order from both heaps.
+        assert subject.prune_due(float("inf")) == oracle.prune_due(float("inf"))
+        assert len(subject) == len(oracle) == 0
+    finally:
+        kernels.set_backend(None)
+
+
+@pytest.mark.parametrize("backend", ENGAGED_BACKENDS)
+class TestHeapEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n_actors=st.integers(1, 12))
+    def test_random_scripts(self, backend, seed, n_actors):
+        _run_script(seed, n_actors, steps=150, backend=backend)
+
+    def test_repost_same_time_consumes_latest_version(self, backend):
+        kernels.set_backend(backend)
+        try:
+            heap = FlatEventHeap(2)
+            heap.push(0, 5.0)
+            heap.push(0, 5.0)  # re-post at the identical time
+            heap.push(1, 5.0)
+            assert heap.prune_due(5.0) == [0, 1]
+            assert heap.prune_due(5.0) == []
+        finally:
+            kernels.set_backend(None)
+
+    def test_next_time_discards_stale_entries(self, backend):
+        kernels.set_backend(backend)
+        try:
+            heap = FlatEventHeap(3)
+            heap.push(0, 1.0)
+            heap.push(1, 2.0)
+            heap.invalidate(0)
+            assert heap.next_time(99.0) == 2.0
+            heap.invalidate(1)
+            assert heap.next_time(99.0) == 99.0
+            assert len(heap) == 0
+        finally:
+            kernels.set_backend(None)

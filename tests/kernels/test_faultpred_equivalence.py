@@ -1,0 +1,185 @@
+"""Kernel fault predicate vs the numpy oracle — bit-identical masks.
+
+Every query here runs once under the ``python`` oracle backend and once
+per engaged kernel backend; results must match element-for-element,
+dtype included. Covers the full predicate surface the kernels replace:
+single-row masks, batched shared/per-row content, scalar and per-row
+``disturb_stress`` composition, and the disturbance dose/charge check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.dram.disturb import DisturbMap, DisturbModelConfig
+from repro.dram.faults import FaultMap, FaultModelConfig
+
+from .conftest import ENGAGED_BACKENDS
+
+DENSE = FaultModelConfig(vulnerable_cell_rate=5e-3)
+HAMMER_DENSE = DisturbModelConfig(hammer_vulnerable_rate=5e-3)
+WIDTH = 256
+ROWS = 64
+INTERVALS = [64.0, 328.0, 1024.0, 4096.0]
+
+
+def _under(backend, fn):
+    kernels.set_backend(backend)
+    try:
+        if backend == "numba":
+            kernels.warmup()
+        return fn()
+    finally:
+        kernels.set_backend(None)
+
+
+def _assert_all_backends_match(fn):
+    """Run ``fn`` under the oracle and every engaged backend; compare."""
+    expected = _under("python", fn)
+    for backend in ENGAGED_BACKENDS:
+        got = _under(backend, fn)
+        for exp, act in zip(expected, got):
+            exp = np.asarray(exp)
+            act = np.asarray(act)
+            assert act.dtype == exp.dtype, backend
+            np.testing.assert_array_equal(act, exp, err_msg=backend)
+
+
+def _content(seed, shape):
+    return np.random.default_rng(seed).integers(
+        0, 2, size=shape, dtype=np.uint8
+    )
+
+
+class TestFailingMask:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        content_seed=st.integers(0, 2**32 - 1),
+        interval=st.sampled_from(INTERVALS),
+        stress=st.sampled_from([0.0, 0.25, 1.5]),
+    )
+    def test_single_row_mask(self, seed, content_seed, interval, stress):
+        fault_map = FaultMap(ROWS, WIDTH, DENSE, seed=seed)
+        bits = _content(content_seed, WIDTH)
+        _assert_all_backends_match(lambda: [
+            fault_map.failing_mask(row, bits, interval, stress)
+            for row in range(0, ROWS, 7)
+        ])
+
+    def test_structured_patterns(self):
+        fault_map = FaultMap(ROWS, WIDTH, DENSE, seed=11)
+        patterns = [
+            np.zeros(WIDTH, dtype=np.uint8),
+            np.ones(WIDTH, dtype=np.uint8),
+            np.tile([0, 1], WIDTH // 2).astype(np.uint8),
+            np.tile([1, 0], WIDTH // 2).astype(np.uint8),
+        ]
+        _assert_all_backends_match(lambda: [
+            fault_map.failing_mask(row, bits, 328.0)
+            for bits in patterns for row in range(ROWS)
+        ])
+
+
+class TestBatchedPredicate:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        content_seed=st.integers(0, 2**32 - 1),
+        interval=st.sampled_from(INTERVALS),
+        per_row_bits=st.booleans(),
+        stress_kind=st.sampled_from(["none", "scalar", "per_row"]),
+    )
+    def test_rows_fail_and_cells_batch(
+        self, seed, content_seed, interval, per_row_bits, stress_kind
+    ):
+        fault_map = FaultMap(ROWS, WIDTH, DENSE, seed=seed)
+        rows = np.arange(0, ROWS, 3)
+        rng = np.random.default_rng(content_seed)
+        shape = (len(rows), WIDTH) if per_row_bits else WIDTH
+        bits = _content(content_seed, shape)
+        if stress_kind == "none":
+            stress = None
+        elif stress_kind == "scalar":
+            stress = float(rng.uniform(0.0, 2.0))
+        else:
+            stress = rng.uniform(0.0, 2.0, size=len(rows))
+
+        def run():
+            fails = fault_map.rows_fail(rows, bits, interval, stress)
+            cell_rows, cell_cols = fault_map.failing_cells_batch(
+                rows, bits, interval, stress
+            )
+            return [fails, cell_rows, cell_cols]
+
+        _assert_all_backends_match(run)
+
+    def test_per_row_stress_on_single_row_mask_raises_everywhere(self):
+        fault_map = FaultMap(ROWS, WIDTH, DENSE, seed=1)
+        bits = np.ones(WIDTH, dtype=np.uint8)
+        stress = np.array([0.5, 0.5])
+        for backend in ["python"] + ENGAGED_BACKENDS:
+            kernels.set_backend(backend)
+            try:
+                with pytest.raises(ValueError,
+                                   match="per-row disturb_stress"):
+                    fault_map.failing_mask(0, bits, 328.0, stress)
+            finally:
+                kernels.set_backend(None)
+
+    def test_oversized_columns_are_invalid_on_every_backend(self):
+        # A narrower content row than the population's geometry: columns
+        # beyond the content width must never fail.
+        fault_map = FaultMap(ROWS, WIDTH, DENSE, seed=7)
+        bits = np.ones(WIDTH // 4, dtype=np.uint8)
+        rows = np.arange(ROWS)
+        _assert_all_backends_match(lambda: [
+            fault_map.rows_fail(rows, bits, 64.0),
+            *fault_map.failing_cells_batch(rows, bits, 64.0),
+        ])
+
+
+class TestDisturbHit:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        content_seed=st.integers(0, 2**32 - 1),
+        interval=st.sampled_from(INTERVALS),
+        content_kind=st.sampled_from(["none", "shared", "per_row"]),
+        scale=st.sampled_from([0.1, 1.0, 10.0]),
+    )
+    def test_flips_match(
+        self, seed, content_seed, interval, content_kind, scale
+    ):
+        disturb_map = DisturbMap(ROWS, WIDTH, HAMMER_DENSE, seed=seed)
+        rows = np.arange(0, ROWS, 2)
+        rng = np.random.default_rng(content_seed)
+        pressures = rng.uniform(0.0, HAMMER_DENSE.hc_first * 2 * scale,
+                                size=len(rows))
+        if content_kind == "none":
+            bits = None
+        elif content_kind == "shared":
+            bits = _content(content_seed, WIDTH)
+        else:
+            bits = _content(content_seed, (len(rows), WIDTH))
+
+        def run():
+            flip_rows, flip_cols = disturb_map.flips(
+                rows, pressures, interval, bits
+            )
+            return [
+                flip_rows, flip_cols,
+                disturb_map.rows_flip(rows, pressures, interval, bits),
+            ]
+
+        _assert_all_backends_match(run)
+
+    def test_narrow_content_invalidates_wide_columns(self):
+        disturb_map = DisturbMap(ROWS, WIDTH, HAMMER_DENSE, seed=3)
+        rows = np.arange(ROWS)
+        pressures = np.full(len(rows), HAMMER_DENSE.hc_first * 100.0)
+        bits = np.ones(WIDTH // 4, dtype=np.uint8)
+        _assert_all_backends_match(
+            lambda: list(disturb_map.flips(rows, pressures, 64.0, bits))
+        )

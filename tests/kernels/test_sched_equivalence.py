@@ -1,0 +1,146 @@
+"""Kernel FR-FCFS pick / earliest-issue vs the per-bank python scan.
+
+Two schedulers consume one randomized request/bank-state script: the
+subject has kernel bank-state arrays attached (so picks go through the
+ring-scan kernel), the oracle does not. Every pick, rejection and
+earliest-issue answer must match exactly — the property the global
+seq-ordered scan's equivalence argument rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.mc.bank import BankState
+from repro.mc.request import Request, RequestKind
+from repro.mc.scheduler import FrFcfsScheduler, SchedulerConfig
+
+from .conftest import ENGAGED_BACKENDS
+
+KINDS = [RequestKind.READ, RequestKind.WRITE, RequestKind.TEST]
+
+
+def _request(rng, n_banks, now):
+    return dict(
+        kind=KINDS[int(rng.integers(len(KINDS)))],
+        core=int(rng.integers(0, 4)),
+        bank=int(rng.integers(n_banks)),
+        row=int(rng.integers(0, 8)),
+        arrival_ns=float(now + rng.uniform(0.0, 50.0)),
+    )
+
+
+def _fields(request):
+    if request is None:
+        return None
+    return (request.kind, request.core, request.bank, request.row,
+            request.arrival_ns)
+
+
+def _run_script(seed, n_banks, steps, drain_threshold, backend):
+    """Drive subject (kernel) and oracle schedulers through one script."""
+    rng = np.random.default_rng(seed)
+    config = SchedulerConfig(write_queue_drain_threshold=drain_threshold)
+    banks = [BankState() for _ in range(n_banks)]
+    ready = np.zeros(n_banks, dtype=np.float64)
+    open_rows = np.full(n_banks, -1, dtype=np.int64)
+    kernels.set_backend(backend)
+    try:
+        if backend == "numba":
+            kernels.warmup()
+        subject = FrFcfsScheduler(config)
+        subject.attach_bank_state(ready, open_rows)
+        oracle = FrFcfsScheduler(SchedulerConfig(
+            write_queue_drain_threshold=drain_threshold))
+        now = 0.0
+        picks = 0
+        for _ in range(steps):
+            op = rng.integers(4)
+            if op == 0:
+                fields = _request(rng, n_banks, now)
+                accepted = subject.enqueue(Request(**fields))
+                assert oracle.enqueue(Request(**fields)) == accepted
+            elif op == 1:
+                # Perturb one bank the way the controller would, keeping
+                # the kernel mirrors in sync with the BankState list.
+                b = int(rng.integers(n_banks))
+                banks[b].ready_ns = now + float(rng.uniform(0.0, 30.0))
+                banks[b].open_row = (
+                    None if rng.integers(3) == 0 else int(rng.integers(8))
+                )
+                ready[b] = banks[b].ready_ns
+                row = banks[b].open_row
+                open_rows[b] = -1 if row is None else row
+            elif op == 2:
+                now += float(rng.uniform(0.0, 40.0))
+                got = subject.next_request(banks, now)
+                assert _fields(got) == _fields(oracle.next_request(banks, now))
+                picks += got is not None
+            else:
+                floor = now + float(rng.uniform(0.0, 10.0))
+                assert (subject.earliest_issue_ns(banks, floor)
+                        == oracle.earliest_issue_ns(banks, floor))
+        # Drain both to the bottom: equivalence must hold through the
+        # write-drain hysteresis and the final test-traffic picks.
+        while subject.pending or oracle.pending:
+            now += 25.0
+            got = subject.next_request(banks, now)
+            assert _fields(got) == _fields(oracle.next_request(banks, now))
+            if got is None:
+                for b in range(n_banks):
+                    banks[b].ready_ns = 0.0
+                    ready[b] = 0.0
+        assert subject.pending == oracle.pending == 0
+        return picks
+    finally:
+        kernels.set_backend(None)
+
+
+@pytest.mark.parametrize("backend", ENGAGED_BACKENDS)
+class TestPickEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n_banks=st.integers(1, 8),
+        drain_threshold=st.sampled_from([2, 4, 16]),
+    )
+    def test_random_scripts(self, backend, seed, n_banks, drain_threshold):
+        _run_script(seed, n_banks, steps=120,
+                    drain_threshold=drain_threshold, backend=backend)
+
+    def test_long_script_exercises_ring_compaction(self, backend):
+        # Enough churn to force KindRing tombstone compaction and growth.
+        picks = _run_script(seed=7, n_banks=4, steps=3000,
+                            drain_threshold=4, backend=backend)
+        assert picks > 200
+
+    def test_row_hit_preferred_over_older_miss(self, backend):
+        kernels.set_backend(backend)
+        try:
+            banks = [BankState(), BankState()]
+            banks[1].open_row = 5
+            ready = np.zeros(2, dtype=np.float64)
+            open_rows = np.array([-1, 5], dtype=np.int64)
+            scheduler = FrFcfsScheduler()
+            scheduler.attach_bank_state(ready, open_rows)
+            scheduler.enqueue(Request(RequestKind.READ, 0, 0, 3, 0.0))
+            scheduler.enqueue(Request(RequestKind.READ, 0, 1, 5, 0.0))
+            picked = scheduler.next_request(banks, 1.0)
+            assert (picked.bank, picked.row) == (1, 5)  # the hit wins
+            picked = scheduler.next_request(banks, 1.0)
+            assert (picked.bank, picked.row) == (0, 3)
+        finally:
+            kernels.set_backend(None)
+
+    def test_attach_requires_empty_queues(self, backend):
+        kernels.set_backend(backend)
+        try:
+            scheduler = FrFcfsScheduler()
+            scheduler.enqueue(Request(RequestKind.READ, 0, 0, 1, 0.0))
+            with pytest.raises(ValueError, match="empty"):
+                scheduler.attach_bank_state(
+                    np.zeros(1), np.full(1, -1, dtype=np.int64)
+                )
+        finally:
+            kernels.set_backend(None)

@@ -1,0 +1,108 @@
+"""End-to-end gate: backends must not change a single output byte.
+
+Runs real experiments through the CLI under the oracle backend and each
+engaged kernel backend, at ``--jobs 1`` and ``--jobs 2``, and compares
+the emitted result tables byte for byte. Also pins the traced simulator
+event stream — not just the aggregate results — across backends.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro import kernels, obs
+from repro.experiments.runner import main
+from repro.mc.controller import RefreshSettings, TestTrafficSettings
+from repro.sim.system import SystemConfig, SystemSimulator
+from repro.traces.spec import get_benchmark
+
+from .conftest import ENGAGED_BACKENDS
+
+#: Cheap-but-real experiment pair: fig04 exercises the content-fault
+#: predicate sweep, hammer01 the disturbance channel + system simulator.
+EXPERIMENTS = ["fig04", "hammer01"]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend(monkeypatch):
+    """The runner writes $REPRO_KERNELS; keep it out of other tests."""
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    yield
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    kernels.set_backend(None)
+
+
+def _run_tables(tmp_path, backend, jobs, tag):
+    out = tmp_path / f"{tag}.md"
+    manifest = tmp_path / f"{tag}.manifest.json"
+    argv = EXPERIMENTS + [
+        "--out", str(out),
+        "--manifest", str(manifest),
+        "--jobs", str(jobs),
+        "--backend", backend,
+    ]
+    assert main(argv) == 0
+    kernels.set_backend(None)
+    return out.read_bytes(), json.loads(manifest.read_text())
+
+
+class TestTablesByteIdentical:
+    def test_across_backends_and_job_counts(self, tmp_path, capsys):
+        expected, manifest = _run_tables(tmp_path, "python", 1, "oracle")
+        assert manifest["config"]["kernels"]["backend"] == "python"
+        for backend in ENGAGED_BACKENDS:
+            for jobs in (1, 2):
+                got, manifest = _run_tables(
+                    tmp_path, backend, jobs, f"{backend}-j{jobs}"
+                )
+                assert got == expected, (backend, jobs)
+                assert manifest["config"]["kernels"]["backend"] == backend
+
+    def test_manifest_records_backend_and_warmup(self, tmp_path, capsys):
+        _, manifest = _run_tables(tmp_path, "pyfunc", 1, "info")
+        info = manifest["config"]["kernels"]
+        assert info["backend"] == "pyfunc"
+        assert info["numba_available"] == kernels.numba_available()
+        assert info["warmup_s"] == 0.0  # only the numba backend compiles
+
+
+class TestTracedStreamsIdentical:
+    def _traced_run(self, backend, seed):
+        kernels.set_backend(backend)
+        try:
+            if backend == "numba":
+                kernels.warmup()
+            config = SystemConfig(
+                channels=2,
+                refresh=RefreshSettings(base_interval_ms=16.0),
+                test_traffic=TestTrafficSettings(concurrent_tests=2),
+            )
+            simulator = SystemSimulator(
+                [get_benchmark("mcf"), get_benchmark("gcc")],
+                config, seed=seed,
+            )
+            sink = obs.ListTraceSink()
+            previous = obs.set_sink(sink)
+            try:
+                result = simulator.run(20_000.0)
+            finally:
+                obs.set_sink(previous)
+            summary = {
+                "window_ns": result.window_ns,
+                "cores": [asdict(core) for core in result.cores],
+                "refreshes_issued": result.refreshes_issued,
+                "refresh_busy_fraction": result.refresh_busy_fraction,
+                "row_hit_rate": result.row_hit_rate,
+            }
+            return summary, sink.records
+        finally:
+            kernels.set_backend(None)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_event_stream_matches_oracle(self, seed):
+        expected = self._traced_run("python", seed)
+        for backend in ENGAGED_BACKENDS:
+            got = self._traced_run(backend, seed)
+            assert got[0] == expected[0], backend
+            assert got[1] == expected[1], backend
